@@ -1,0 +1,376 @@
+(* Benchmark harness: regenerates every claim of the paper (there are no
+   tables/figures — it is a brief announcement — so the "experiments" E1..E8
+   are the theorem round-complexity claims and the §1.1 comparisons; see
+   DESIGN.md §3 and EXPERIMENTS.md for the index).
+
+   Two parts:
+   1. round-count experiment series (the reproduction target: rounds in the
+      congested-clique model, measured by the instrumented runtime);
+   2. Bechamel wall-clock benches, one Test.make per experiment kernel. *)
+
+let line = String.make 78 '-'
+
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ------------------------------------------------------------------- E1 *)
+
+let e1_sparsifier () =
+  header
+    "E1 | Theorem 3.3 - deterministic spectral sparsifier: size O(n log n \
+     log U), measured alpha";
+  Printf.printf "%6s %6s %4s %8s %10s %8s %10s %12s\n" "n" "m" "U" "|E(H)|"
+    "alpha" "rounds" "ref" "size-bound";
+  List.iter
+    (fun (n, u) ->
+      let g =
+        if u = 1 then Gen.connected_gnp ~seed:3L n 0.5
+        else Gen.weighted_gnp ~seed:3L n 0.5 u
+      in
+      let r = Sparsify.Spectral.sparsify g in
+      let h = r.Sparsify.Spectral.sparsifier in
+      let alpha = Sparsify.Quality.approximation_factor g h in
+      Printf.printf "%6d %6d %4d %8d %10.2f %8d %10d %12d\n" n (Graph.m g) u
+        (Graph.m h) alpha r.Sparsify.Spectral.rounds
+        (Sparsify.Spectral.rounds_bound ~n ~u:(float_of_int u) ~gamma:0.25)
+        (Sparsify.Spectral.size_bound ~n ~u:(float_of_int u)))
+    [ (40, 1); (60, 1); (80, 1); (100, 1); (60, 16); (60, 256) ]
+
+(* ------------------------------------------------------------------- E2 *)
+
+let e2_solver () =
+  header
+    "E2 | Theorem 1.1 / Corollary 2.3 - Laplacian solver: iterations ~ \
+     sqrt(kappa) log(1/eps), rounds ~ n^{o(1)} log(U/eps)";
+  let n = 60 in
+  let g = Gen.weighted_gnp ~seed:5L n 0.3 8 in
+  let b = Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1)) in
+  let sp = Sparsify.Spectral.sparsify g in
+  Printf.printf "eps sweep at n=%d m=%d (sparsifier reused):\n" n (Graph.m g);
+  Printf.printf "%10s %6s %8s %10s %14s %12s\n" "eps" "iters" "ref" "rounds"
+    "measured err" "cg rounds";
+  List.iter
+    (fun eps ->
+      let r = Laplacian.Solver.solve_with_sparsifier ~eps g sp b in
+      let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
+      let reference =
+        Linalg.Chebyshev.iteration_bound ~kappa:r.Laplacian.Solver.kappa ~eps
+      in
+      let cg = Laplacian.Solver.solve_cg_baseline ~eps g b in
+      Printf.printf "%10.0e %6d %8d %10d %14.2e %12d\n" eps
+        r.Laplacian.Solver.iterations reference r.Laplacian.Solver.rounds err
+        cg.Laplacian.Solver.rounds)
+    [ 1e-1; 1e-2; 1e-4; 1e-6; 1e-8 ];
+  Printf.printf "\nn sweep at eps=1e-6 (full pipeline incl. sparsifier):\n";
+  Printf.printf "%6s %6s %8s %8s %10s\n" "n" "m" "iters" "rounds" "kappa";
+  List.iter
+    (fun n ->
+      let g = Gen.connected_gnp ~seed:7L n 0.3 in
+      let b =
+        Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
+      in
+      let r = Laplacian.Solver.solve ~eps:1e-6 g b in
+      Printf.printf "%6d %6d %8d %8d %10.2f\n" n (Graph.m g)
+        r.Laplacian.Solver.iterations r.Laplacian.Solver.rounds
+        r.Laplacian.Solver.kappa)
+    [ 30; 60; 90; 120 ]
+
+(* ------------------------------------------------------------------- E3 *)
+
+let e3_euler () =
+  header
+    "E3 | Theorem 1.4 - Eulerian orientation: O(log n log* n) rounds \
+     (trivial algorithm: Theta(n))";
+  Printf.printf "%7s %8s %8s %7s %10s %10s %10s\n" "n" "m" "rounds" "iters"
+    "ref" "random" "trivial";
+  List.iter
+    (fun n ->
+      let g = Gen.cycle_union ~seed:5L n (max 3 (n / 16)) in
+      let r = Euler.Orientation.orient g in
+      assert (Euler.Orientation.check g r.Euler.Orientation.orientation);
+      (* The paper's randomized remark: sampling instead of coloring. *)
+      let rnd =
+        Euler.Orientation.orient ~selector:(Euler.Orientation.Sampling 1L) g
+      in
+      assert (Euler.Orientation.check g rnd.Euler.Orientation.orientation);
+      Printf.printf "%7d %8d %8d %7d %10d %10d %10d\n" n (Graph.m g)
+        r.Euler.Orientation.rounds r.Euler.Orientation.iterations
+        (Euler.Orientation.rounds_reference ~n)
+        rnd.Euler.Orientation.rounds n)
+    [ 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+(* ------------------------------------------------------------------- E4 *)
+
+let e4_rounding () =
+  header
+    "E4 | Lemma 4.2 - flow rounding: O(log n log* n log(1/Delta)) rounds";
+  let g = Gen.layered_network ~seed:11L 4 4 6 in
+  let t = Digraph.n g - 1 in
+  let f, v = Dinic.max_flow g ~s:0 ~t in
+  Printf.printf
+    "network: n=%d m=%d |f*|=%d; rounding (2/3)*f at grain delta=2^-k\n"
+    (Digraph.n g) (Digraph.m g) v;
+  Printf.printf "%4s %12s %8s %8s %14s\n" "k" "delta" "rounds" "levels"
+    "value kept";
+  List.iter
+    (fun k ->
+      let delta = 1. /. float_of_int (1 lsl k) in
+      (* 2/3 has an infinite binary expansion, so after flooring to the grid
+         every level keeps odd digits and must orient. *)
+      let frac = Array.map (fun x -> 2. /. 3. *. x) f in
+      let items = Decompose.decompose g ~s:0 ~t frac in
+      let q = Decompose.accumulate g (Decompose.quantize_paths ~delta items) in
+      let r = Rounding.Flow_rounding.round g ~s:0 ~t ~delta q in
+      assert (Flow.is_integral r.Rounding.Flow_rounding.f);
+      assert (Flow.is_feasible g ~s:0 ~t ~f:r.Rounding.Flow_rounding.f);
+      Printf.printf "%4d %12g %8d %8d %14g\n" k delta
+        r.Rounding.Flow_rounding.rounds r.Rounding.Flow_rounding.levels
+        (Flow.value g ~s:0 ~f:r.Rounding.Flow_rounding.f))
+    [ 2; 4; 6; 8; 10; 12 ]
+
+(* ------------------------------------------------------------------- E5 *)
+
+let e5_maxflow () =
+  header
+    "E5 | Theorem 1.2 - max flow: m^{3/7+o(1)} U^{1/7} rounds vs baselines";
+  Printf.printf "%5s %5s %4s %5s %9s %9s %10s %9s %9s %8s\n" "n" "m" "U"
+    "|f*|" "ipm-iter" "iter-ref" "ipm-rnds" "ff-rnds" "triv-rnds" "repairs";
+  let run g u =
+    let n = Digraph.n g in
+    let r = Maxflow_ipm.max_flow g ~s:0 ~t:(n - 1) in
+    let ff = Ford_fulkerson.max_flow g ~s:0 ~t:(n - 1) in
+    let triv = Trivial.max_flow g ~s:0 ~t:(n - 1) in
+    assert (r.Maxflow_ipm.value = ff.Ford_fulkerson.value);
+    Printf.printf "%5d %5d %4d %5d %9d %9d %10d %9d %9d %8d\n" n (Digraph.m g)
+      u r.Maxflow_ipm.value r.Maxflow_ipm.ipm_iterations
+      (Maxflow_ipm.iterations_reference ~m:(Digraph.m g) ~u)
+      r.Maxflow_ipm.rounds ff.Ford_fulkerson.rounds triv.Trivial.rounds
+      r.Maxflow_ipm.repair_augmentations
+  in
+  Printf.printf "m sweep (layered networks, U = 8):\n";
+  List.iter
+    (fun layers -> run (Gen.layered_network ~seed:13L layers 4 8) 8)
+    [ 2; 3; 4; 5; 6 ];
+  Printf.printf "U sweep (fixed 4x4 layered topology):\n";
+  List.iter (fun u -> run (Gen.layered_network ~seed:13L 4 4 u) u) [ 1; 8; 64 ]
+
+(* ------------------------------------------------------------------- E6 *)
+
+let e6_mincost () =
+  header
+    "E6 | Theorem 1.3 - unit-capacity min-cost flow: ~m^{3/7}(n^{0.158} + \
+     polylog W) rounds";
+  Printf.printf "%5s %5s %5s %9s %9s %10s %10s %8s\n" "n" "m" "W" "ipm-iter"
+    "iter-ref" "ipm-rnds" "ssp-rnds" "repairs";
+  let run g sigma w =
+    match (Mcf_ipm.solve g ~sigma, Mcf_ssp.solve g ~sigma) with
+    | Some r, Some oracle ->
+      assert (Float.abs (r.Mcf_ipm.cost -. oracle.Mcf_ssp.cost) < 1e-6);
+      Printf.printf "%5d %5d %5d %9d %9d %10d %10d %8d\n" (Digraph.n g)
+        (Digraph.m g) w r.Mcf_ipm.ipm_iterations
+        (Mcf_ipm.iterations_reference ~m:(Digraph.m g) ~w)
+        r.Mcf_ipm.rounds oracle.Mcf_ssp.rounds r.Mcf_ipm.repair_augmentations
+    | None, None -> Printf.printf "      (infeasible instance skipped)\n"
+    | _ -> failwith "ipm/oracle feasibility disagreement"
+  in
+  Printf.printf "m sweep (random unit-capacity instances, W = 10):\n";
+  List.iter
+    (fun (n, m) ->
+      let g, sigma = Gen.random_mcf ~seed:17L n m 10 in
+      run g sigma 10)
+    [ (8, 16); (10, 28); (12, 40); (14, 56) ];
+  Printf.printf "W sweep (fixed topology):\n";
+  List.iter
+    (fun w ->
+      let g, sigma = Gen.random_mcf ~seed:19L 10 30 w in
+      run g sigma w)
+    [ 2; 16; 128 ];
+  Printf.printf
+    "engine comparison (same instance; direct two-sided barrier vs verbatim\n\
+    \ Appendix C bipartite lift):\n";
+  let g, sigma = Gen.random_mcf ~seed:17L 10 28 10 in
+  (match (Mcf_ipm.solve g ~sigma, Cmsv_bipartite.solve g ~sigma) with
+  | Some d, Some v ->
+    Printf.printf
+      "  direct:   cost=%g iters=%d rounds=%d\n\
+      \  verbatim: cost=%g iters=%d rounds=%d perturbations=%d\n"
+      d.Mcf_ipm.cost d.Mcf_ipm.ipm_iterations d.Mcf_ipm.rounds
+      v.Cmsv_bipartite.cost v.Cmsv_bipartite.ipm_iterations
+      v.Cmsv_bipartite.rounds v.Cmsv_bipartite.perturbations
+  | _ -> Printf.printf "  (instance infeasible)\n")
+
+(* ------------------------------------------------------------------- E7 *)
+
+let e7_baselines () =
+  header
+    "E7 | baselines of 1.1 - Ford-Fulkerson O(|f*| n^{0.158}) vs trivial \
+     O(n log U): crossover at |f*| = o(n^{0.842} log U)";
+  Printf.printf "%5s %5s %6s %7s %10s %10s %12s %10s\n" "n" "m" "U" "|f*|"
+    "ff-rounds" "ff-worst" "triv-rounds" "ipm-rnds";
+  List.iter
+    (fun u ->
+      let g = Gen.layered_network ~seed:23L 4 4 u in
+      let n = Digraph.n g in
+      let ff = Ford_fulkerson.max_flow g ~s:0 ~t:(n - 1) in
+      let triv = Trivial.max_flow g ~s:0 ~t:(n - 1) in
+      let ipm = Maxflow_ipm.max_flow g ~s:0 ~t:(n - 1) in
+      Printf.printf "%5d %5d %6d %7d %10d %10d %12d %10d\n" n (Digraph.m g) u
+        ff.Ford_fulkerson.value ff.Ford_fulkerson.rounds
+        (Ford_fulkerson.rounds_reference ~n ~value:ff.Ford_fulkerson.value)
+        triv.Trivial.rounds ipm.Maxflow_ipm.rounds)
+    [ 1; 4; 16; 64; 256 ]
+
+(* ------------------------------------------------------------------ E7b *)
+
+let e7b_models () =
+  header
+    "E7b | model comparison - congested clique vs CONGEST (FGLP+21) vs \
+     Broadcast Congested Clique (FV22) reference curves";
+  Printf.printf "%9s %11s %6s %13s %15s %11s\n" "n" "m" "D" "clique-ref"
+    "congest-ref" "bcc-ref";
+  List.iter
+    (fun (n, d) ->
+      let m = n * 50 in
+      Printf.printf "%9d %11d %6d %13d %15d %11d\n" n m d
+        (Maxflow_ipm.rounds_reference ~n ~m ~u:16)
+        (Clique.Congest.fglp_maxflow_rounds ~n ~m ~d ~u:16)
+        (Clique.Congest.fv22_bcc_mcf_rounds ~n))
+    [ (1000, 10); (10000, 15); (100000, 20); (1000000, 25) ];
+  Printf.printf
+    "(BCC column is FV22's randomized sqrt(n) min-cost flow - the paper's\n\
+    \ only deterministic competitors are the trivial and FF baselines of E7)\n"
+
+(* ------------------------------------------------------------------- E8 *)
+
+let e8_ablations () =
+  header "E8 | ablations - sparsifier backend and solver choice";
+  Printf.printf "sparsifier backend on G(36, 0.5):\n";
+  let g = Gen.connected_gnp ~seed:29L 36 0.5 in
+  Printf.printf "%22s %8s %10s\n" "backend" "|E(H)|" "alpha";
+  let report name h =
+    Printf.printf "%22s %8d %10.2f\n" name (Graph.m h)
+      (Sparsify.Quality.approximation_factor g h)
+  in
+  report "input (identity)" g;
+  report "buckets (Thm 3.3)"
+    (Sparsify.Spectral.sparsify g).Sparsify.Spectral.sparsifier;
+  report "bss d=4" (Sparsify.Bss.sparsify ~d:4 g);
+  report "bss d=6" (Sparsify.Bss.sparsify ~d:6 g);
+  report "spanning tree" (Sparsify.Tree.max_weight_spanning_tree g);
+  report "sampling (randomized)" (Sparsify.Sampling.sparsify ~seed:1L g);
+  Printf.printf
+    "\nsolver rounds at eps=1e-8 (preconditioned Chebyshev vs plain CG):\n";
+  Printf.printf "%22s %12s %12s\n" "graph" "cheby-rnds" "cg-rnds";
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let b =
+        Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
+      in
+      let r = Laplacian.Solver.solve ~eps:1e-8 g b in
+      let cg = Laplacian.Solver.solve_cg_baseline ~eps:1e-8 g b in
+      Printf.printf "%22s %12d %12d\n" name r.Laplacian.Solver.rounds
+        cg.Laplacian.Solver.rounds)
+    [
+      ("expander(64)", Gen.expander 64 8);
+      ("barbell(32)", Gen.barbell 32);
+      ("grid 8x8", Gen.grid 8 8);
+      ("gnp(64, 0.2)", Gen.connected_gnp ~seed:31L 64 0.2);
+    ]
+
+(* -------------------------------------------------- Bechamel wall-clock *)
+
+let wall_clock () =
+  header "wall-clock kernels (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let e1 =
+    Test.make ~name:"e1-sparsify-gnp60"
+      (Staged.stage (fun () ->
+           ignore
+             (Sparsify.Spectral.sparsify (Gen.connected_gnp ~seed:3L 60 0.4))))
+  in
+  let e2 =
+    let g = Gen.connected_gnp ~seed:5L 60 0.3 in
+    let sp = Sparsify.Spectral.sparsify g in
+    let b = Linalg.Vec.sub (Linalg.Vec.basis 60 0) (Linalg.Vec.basis 60 59) in
+    Test.make ~name:"e2-solve-n60"
+      (Staged.stage (fun () ->
+           ignore (Laplacian.Solver.solve_with_sparsifier ~eps:1e-6 g sp b)))
+  in
+  let e3 =
+    let g = Gen.cycle_union ~seed:5L 512 16 in
+    Test.make ~name:"e3-euler-n512"
+      (Staged.stage (fun () -> ignore (Euler.Orientation.orient g)))
+  in
+  let e4 =
+    let g = Gen.layered_network ~seed:11L 3 3 6 in
+    let t = Digraph.n g - 1 in
+    let f, _ = Dinic.max_flow g ~s:0 ~t in
+    let items =
+      Decompose.decompose g ~s:0 ~t (Array.map (fun x -> 0.75 *. x) f)
+    in
+    let q =
+      Decompose.accumulate g (Decompose.quantize_paths ~delta:0.125 items)
+    in
+    Test.make ~name:"e4-rounding"
+      (Staged.stage (fun () ->
+           ignore (Rounding.Flow_rounding.round g ~s:0 ~t ~delta:0.125 q)))
+  in
+  let e5 =
+    let g = Gen.layered_network ~seed:13L 3 3 6 in
+    Test.make ~name:"e5-maxflow-ipm"
+      (Staged.stage (fun () ->
+           ignore (Maxflow_ipm.max_flow g ~s:0 ~t:(Digraph.n g - 1))))
+  in
+  let e6 =
+    let g, sigma = Gen.random_mcf ~seed:17L 8 16 10 in
+    Test.make ~name:"e6-mincost-ipm"
+      (Staged.stage (fun () -> ignore (Mcf_ipm.solve g ~sigma)))
+  in
+  let e7 =
+    let g = Gen.layered_network ~seed:23L 4 4 16 in
+    Test.make ~name:"e7-ford-fulkerson"
+      (Staged.stage (fun () ->
+           ignore (Ford_fulkerson.max_flow g ~s:0 ~t:(Digraph.n g - 1))))
+  in
+  let e8 =
+    let g = Gen.connected_gnp ~seed:29L 24 0.5 in
+    Test.make ~name:"e8-bss-d6"
+      (Staged.stage (fun () -> ignore (Sparsify.Bss.sparsify ~d:6 g)))
+  in
+  let tests =
+    Test.make_grouped ~name:"repro" [ e1; e2; e3; e4; e5; e6; e7; e8 ]
+  in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  Printf.printf "%30s %16s\n" "kernel" "time/run";
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (t :: _) ->
+        if t > 1e9 then Printf.printf "%30s %13.2f s \n" name (t /. 1e9)
+        else if t > 1e6 then Printf.printf "%30s %13.2f ms\n" name (t /. 1e6)
+        else Printf.printf "%30s %13.2f us\n" name (t /. 1e3)
+      | _ -> Printf.printf "%30s %16s\n" name "n/a")
+    (List.sort compare rows)
+
+let () =
+  Printf.printf
+    "Reproduction benches: 'The Laplacian Paradigm in Deterministic \
+     Congested Clique' (PODC 2023)\n";
+  e1_sparsifier ();
+  e2_solver ();
+  e3_euler ();
+  e4_rounding ();
+  e5_maxflow ();
+  e6_mincost ();
+  e7_baselines ();
+  e7b_models ();
+  e8_ablations ();
+  wall_clock ();
+  Printf.printf "\nall experiment series completed.\n"

@@ -1,0 +1,185 @@
+(* Command-line front end: run each of the paper's algorithms on generated
+   workloads and print results plus congested-clique round accounting.
+
+     laplacian_cli solve    --n 80 --density 0.2 --eps 1e-6
+     laplacian_cli sparsify --n 100 --density 0.4 --max-weight 16
+     laplacian_cli euler    --n 512 --cycles 20
+     laplacian_cli maxflow  --layers 4 --width 4 --maxcap 8
+     laplacian_cli mincost  --n 12 --arcs 30 --maxcost 10 *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Print per-phase debug traces from the solver pipelines." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let seed_arg =
+  let doc = "Deterministic workload seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let n_arg default =
+  let doc = "Number of vertices." in
+  Arg.(value & opt int default & info [ "n"; "vertices" ] ~doc)
+
+let density_arg =
+  let doc = "Edge density of the generated graph." in
+  Arg.(value & opt float 0.2 & info [ "density" ] ~doc)
+
+let run_solve n density eps seed verbose =
+  setup_logs verbose;
+  let g = Core.Gen.weighted_gnp ~seed:(Int64.of_int seed) n density 8 in
+  let b = Core.Vec.sub (Core.Vec.basis n 0) (Core.Vec.basis n (n - 1)) in
+  let x, r = Core.solve_laplacian ~eps g b in
+  Printf.printf "n=%d m=%d eps=%g\n" n (Core.Graph.m g) eps;
+  Printf.printf "rounds=%d iterations=%d kappa=%.3f sparsifier_edges=%d\n"
+    r.Core.Solver.rounds r.Core.Solver.iterations r.Core.Solver.kappa
+    r.Core.Solver.sparsifier_edges;
+  Format.printf "phases: %a@." Core.pp_phases r.Core.Solver.phase_rounds;
+  Printf.printf "error in ||.||_L: %.3e (target %.1e)\n"
+    (Core.Solver.error_in_l_norm g x b)
+    eps
+
+let solve_cmd =
+  let eps =
+    Arg.(value & opt float 1e-6 & info [ "eps" ] ~doc:"Target precision.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Theorem 1.1: deterministic Laplacian solve")
+    Term.(const run_solve $ n_arg 80 $ density_arg $ eps $ seed_arg $ verbose_arg)
+
+let run_sparsify n density u seed verbose =
+  setup_logs verbose;
+  let g = Core.Gen.weighted_gnp ~seed:(Int64.of_int seed) n density u in
+  let r = Core.spectral_sparsifier g in
+  let h = r.Core.Sparsifier.sparsifier in
+  Printf.printf "n=%d m=%d U=%d\n" n (Core.Graph.m g) u;
+  Printf.printf "sparsifier: %d edges (bound %d), %d levels, %d classes\n"
+    (Core.Graph.m h)
+    (Core.Sparsifier.size_bound ~n ~u:(float_of_int u))
+    r.Core.Sparsifier.levels r.Core.Sparsifier.classes;
+  Printf.printf "rounds=%d\n" r.Core.Sparsifier.rounds;
+  Printf.printf "measured alpha=%.3f  pencil condition=%.3f\n"
+    (Core.Quality.approximation_factor g h)
+    (Core.Quality.relative_condition g h)
+
+let sparsify_cmd =
+  let u =
+    Arg.(value & opt int 8 & info [ "max-weight" ] ~doc:"Max edge weight U.")
+  in
+  Cmd.v
+    (Cmd.info "sparsify" ~doc:"Theorem 3.3: deterministic spectral sparsifier")
+    Term.(const run_sparsify $ n_arg 100 $ density_arg $ u $ seed_arg $ verbose_arg)
+
+let run_euler n cycles seed verbose =
+  setup_logs verbose;
+  let g = Core.Gen.cycle_union ~seed:(Int64.of_int seed) n cycles in
+  let r = Core.eulerian_orientation g in
+  assert (Core.Orientation.check g r.Core.Orientation.orientation);
+  Printf.printf "n=%d m=%d rings=%d\n" n (Core.Graph.m g)
+    r.Core.Orientation.rings;
+  Printf.printf
+    "rounds=%d (reference %d)  iterations=%d  coloring rounds=%d\n"
+    r.Core.Orientation.rounds
+    (Core.Orientation.rounds_reference ~n)
+    r.Core.Orientation.iterations r.Core.Orientation.coloring_rounds
+
+let euler_cmd =
+  let cycles =
+    Arg.(value & opt int 8 & info [ "cycles" ] ~doc:"Cycles in the union.")
+  in
+  Cmd.v
+    (Cmd.info "euler" ~doc:"Theorem 1.4: Eulerian orientation")
+    Term.(const run_euler $ n_arg 256 $ cycles $ seed_arg $ verbose_arg)
+
+let run_maxflow layers width maxcap seed verbose =
+  setup_logs verbose;
+  let g =
+    Core.Gen.layered_network ~seed:(Int64.of_int seed) layers width maxcap
+  in
+  let n = Core.Digraph.n g in
+  let r = Core.max_flow g ~s:0 ~t:(n - 1) in
+  let ff = Core.Ford_fulkerson.max_flow g ~s:0 ~t:(n - 1) in
+  let triv = Core.Trivial.max_flow g ~s:0 ~t:(n - 1) in
+  Printf.printf "n=%d m=%d U=%d\n" n (Core.Digraph.m g) maxcap;
+  Printf.printf "max flow value=%d\n" r.Core.Maxflow.value;
+  Printf.printf "IPM:            rounds=%-6d (iterations=%d, repairs=%d)\n"
+    r.Core.Maxflow.rounds r.Core.Maxflow.ipm_iterations
+    r.Core.Maxflow.repair_augmentations;
+  Printf.printf "Ford-Fulkerson: rounds=%-6d (iterations=%d)\n"
+    ff.Core.Ford_fulkerson.rounds ff.Core.Ford_fulkerson.iterations;
+  Printf.printf "Trivial gather: rounds=%-6d\n" triv.Core.Trivial.rounds;
+  assert (r.Core.Maxflow.value = ff.Core.Ford_fulkerson.value)
+
+let maxflow_cmd =
+  let layers =
+    Arg.(value & opt int 4 & info [ "layers" ] ~doc:"Network layers.")
+  in
+  let width =
+    Arg.(value & opt int 4 & info [ "width" ] ~doc:"Junctions per layer.")
+  in
+  let maxcap =
+    Arg.(value & opt int 8 & info [ "maxcap" ] ~doc:"Max capacity U.")
+  in
+  Cmd.v
+    (Cmd.info "maxflow" ~doc:"Theorem 1.2: exact maximum flow")
+    Term.(const run_maxflow $ layers $ width $ maxcap $ seed_arg $ verbose_arg)
+
+let run_mincost n arcs maxcost seed verbose =
+  setup_logs verbose;
+  let g, sigma = Core.Gen.random_mcf ~seed:(Int64.of_int seed) n arcs maxcost in
+  Printf.printf "n=%d m=%d W=%d\n" n (Core.Digraph.m g) maxcost;
+  match Core.min_cost_flow g ~sigma with
+  | None -> Printf.printf "instance infeasible\n"
+  | Some r ->
+    Printf.printf "optimal cost=%g rounds=%d iterations=%d repairs=%d\n"
+      r.Core.Mincostflow.cost r.Core.Mincostflow.rounds
+      r.Core.Mincostflow.ipm_iterations r.Core.Mincostflow.repair_augmentations;
+    (match Core.Mcf_ssp.solve g ~sigma with
+    | Some oracle ->
+      Printf.printf "SSP oracle cost=%g (agrees: %b)\n" oracle.Core.Mcf_ssp.cost
+        (Float.abs (oracle.Core.Mcf_ssp.cost -. r.Core.Mincostflow.cost) < 1e-6)
+    | None -> assert false)
+
+let mincost_cmd =
+  let arcs =
+    Arg.(value & opt int 30 & info [ "arcs" ] ~doc:"Random arcs to add.")
+  in
+  let maxcost =
+    Arg.(value & opt int 10 & info [ "maxcost" ] ~doc:"Max arc cost W.")
+  in
+  Cmd.v
+    (Cmd.info "mincost" ~doc:"Theorem 1.3: unit-capacity min-cost flow")
+    Term.(const run_mincost $ n_arg 12 $ arcs $ maxcost $ seed_arg $ verbose_arg)
+
+let run_mst n density seed verbose =
+  setup_logs verbose;
+  let g = Core.Gen.connected_gnp ~seed:(Int64.of_int seed) n density in
+  let g =
+    Core.Graph.map_weights
+      (fun e -> 1. +. float_of_int (((e.Core.Graph.u * 31) + e.Core.Graph.v) mod 23))
+      g
+  in
+  let r = Core.minimum_spanning_tree g in
+  Printf.printf "n=%d m=%d\n" n (Core.Graph.m g);
+  Printf.printf "mst weight=%g edges=%d phases=%d rounds=%d (trivial: %d)\n"
+    r.Core.Boruvka.weight
+    (List.length r.Core.Boruvka.edges)
+    r.Core.Boruvka.phases r.Core.Boruvka.rounds n
+
+let mst_cmd =
+  Cmd.v
+    (Cmd.info "mst" ~doc:"Boruvka MST on the message-passing kernel")
+    Term.(const run_mst $ n_arg 100 $ density_arg $ seed_arg $ verbose_arg)
+
+let main_cmd =
+  let doc = "the Laplacian paradigm in the deterministic congested clique" in
+  Cmd.group
+    (Cmd.info "laplacian_cli" ~version:Core.version ~doc)
+    [ solve_cmd; sparsify_cmd; euler_cmd; maxflow_cmd; mincost_cmd; mst_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/electrical_grid.ml: Array Core Printf

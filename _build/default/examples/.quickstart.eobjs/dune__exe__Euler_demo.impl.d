@@ -1,0 +1,1 @@
+examples/euler_demo.ml: Core List Printf

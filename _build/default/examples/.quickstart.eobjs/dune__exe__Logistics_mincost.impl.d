@@ -1,0 +1,1 @@
+examples/logistics_mincost.ml: Array Core Float Format Printf

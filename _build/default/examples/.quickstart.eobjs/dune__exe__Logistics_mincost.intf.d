@@ -1,0 +1,1 @@
+examples/logistics_mincost.mli:

@@ -1,0 +1,1 @@
+examples/network_backbone.ml: Array Core Float List Printf

@@ -1,0 +1,1 @@
+examples/traffic_maxflow.ml: Array Core Format Printf

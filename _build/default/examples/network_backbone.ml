@@ -1,0 +1,62 @@
+(* Backbone selection across models.
+
+   A telecom operator wants a cheapest backbone (minimum spanning tree) of
+   its fiber network, and wants to understand what running distributed
+   algorithms on this network costs in different models. This example runs
+   Borůvka as real node programs on the congested-clique kernel, compares
+   against the Kruskal oracle, and then contrasts BFS round costs in the
+   CONGEST model (limited to fiber links) with the all-to-all clique.
+
+   Run with: dune exec examples/network_backbone.exe *)
+
+let () =
+  let n = 120 in
+  let base = Core.Gen.connected_gnp ~seed:33L n 0.08 in
+  (* Link costs: deterministic "distance-like" weights. *)
+  let g =
+    Core.Graph.map_weights
+      (fun e ->
+        1. +. float_of_int (((e.Core.Graph.u * 31) + (e.Core.Graph.v * 17)) mod 97))
+      base
+  in
+  Printf.printf "fiber network: %d sites, %d links\n" n (Core.Graph.m g);
+
+  let mst = Core.minimum_spanning_tree g in
+  Printf.printf "\nbackbone (Boruvka on the clique kernel):\n";
+  Printf.printf "  %d links, total cost %.0f\n"
+    (List.length mst.Core.Boruvka.edges)
+    mst.Core.Boruvka.weight;
+  Printf.printf "  %d phases, %d measured broadcast rounds (trivial: %d)\n"
+    mst.Core.Boruvka.phases mst.Core.Boruvka.rounds n;
+  let oracle = Core.Boruvka.kruskal g in
+  let oracle_weight =
+    List.fold_left (fun a id -> a +. (Core.Graph.edge g id).Core.Graph.w) 0. oracle
+  in
+  assert (Float.abs (oracle_weight -. mst.Core.Boruvka.weight) < 1e-9);
+  Printf.printf "  (matches the Kruskal oracle: %.0f)\n" oracle_weight;
+
+  (* Model contrast: BFS from headquarters. *)
+  Printf.printf "\nBFS from site 0, by model:\n";
+  let congest = Core.Congest.create g in
+  let dist = Core.Congest.bfs congest 0 in
+  let ecc = Array.fold_left max 0 dist in
+  Printf.printf "  CONGEST (messages on fiber links only): %d rounds\n"
+    (Core.Congest.rounds congest);
+  Printf.printf "  congested clique (all-to-all): 1 broadcast round\n";
+  Printf.printf "  network hop-eccentricity of site 0: %d\n" ecc;
+  Printf.printf "  hop diameter D = %d (the parameter in every §1.1 CONGEST bound)\n"
+    (Core.Congest.diameter g);
+
+  (* The §1.1 reference curves at this size. *)
+  let m = Core.Graph.m g in
+  let d = Core.Congest.diameter g in
+  Printf.printf "\nmax-flow reference rounds at this topology (U = 16):\n";
+  Printf.printf "  congested clique (Thm 1.2 shape): %d\n"
+    (Core.Maxflow.rounds_reference ~n ~m ~u:16);
+  Printf.printf "  CONGEST (FGLP+21 shape):          %d\n"
+    (Core.Congest.fglp_maxflow_rounds ~n ~m ~d ~u:16);
+  Printf.printf
+    "  (at this tiny n with D = %d the CONGEST curve is still ahead; the\n\
+    \   clique's n^{o(1)}-per-iteration advantage takes over as n grows —\n\
+    \   see bench E7b for the crossover)\n"
+    d

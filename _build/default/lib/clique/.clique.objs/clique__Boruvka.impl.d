@@ -1,0 +1,1 @@
+lib/clique/boruvka.ml: Array Fun Graph Hashtbl List Sim Unionfind

@@ -1,0 +1,1 @@
+lib/clique/boruvka.mli: Graph

@@ -1,0 +1,1 @@
+lib/clique/congest.ml: Array Float Graph Hashtbl List Sim Traversal

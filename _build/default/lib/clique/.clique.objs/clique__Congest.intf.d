@@ -1,0 +1,1 @@
+lib/clique/congest.mli: Graph

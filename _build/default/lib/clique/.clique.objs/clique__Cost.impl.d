@@ -1,0 +1,1 @@
+lib/clique/cost.ml: Float Hashtbl List

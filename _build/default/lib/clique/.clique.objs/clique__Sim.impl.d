@@ -1,0 +1,1 @@
+lib/clique/sim.ml: Array Cost Hashtbl List Printf

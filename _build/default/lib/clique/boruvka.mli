@@ -1,0 +1,30 @@
+(** Minimum spanning tree on the congested-clique kernel.
+
+    The congested clique was introduced for MST ([LPSPP05], the paper's
+    model citation); this is the classic Borůvka algorithm running as real
+    node programs on {!Sim}: every phase each node broadcasts its component
+    label (1 round) and its minimum outgoing edge (1 round), after which all
+    nodes merge components from the same shared global view. [O(log n)]
+    phases, 2 broadcast rounds each. (Lotker et al.'s [O(log log n)]
+    round algorithm is substituted by this simple variant; the measured
+    logarithmic round count is still exponentially below the trivial
+    gather.)
+
+    Besides being useful in its own right, this module is the independent
+    exercise of {!Sim.broadcast}'s accounting used by the runtime tests. *)
+
+type result = {
+  edges : int list;  (** MST edge identifiers *)
+  weight : float;
+  rounds : int;  (** measured rounds on the kernel *)
+  phases : int;
+}
+
+val minimum_spanning_tree : Graph.t -> result
+(** Requires a connected graph; ties are broken by edge identifier, which
+    also makes the result unique and deterministic. Raises
+    [Invalid_argument] on disconnected input. *)
+
+val kruskal : Graph.t -> int list
+(** Sequential oracle (also deterministic, same tie-breaking): the test
+    reference, and available for internal node-local computations. *)

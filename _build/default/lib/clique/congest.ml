@@ -1,0 +1,161 @@
+type t = {
+  graph : Graph.t;
+  neighbors : (int, unit) Hashtbl.t array;
+  mutable rounds : int;
+}
+
+exception Not_an_edge of { src : int; dst : int }
+
+let create graph =
+  let n = Graph.n graph in
+  let neighbors = Array.init n (fun _ -> Hashtbl.create 4) in
+  Array.iter
+    (fun e ->
+      Hashtbl.replace neighbors.(e.Graph.u) e.Graph.v ();
+      Hashtbl.replace neighbors.(e.Graph.v) e.Graph.u ())
+    (Graph.edges graph);
+  { graph; neighbors; rounds = 0 }
+
+let rounds t = t.rounds
+
+let exchange ?(width = 2) t outboxes =
+  let n = Graph.n t.graph in
+  if Array.length outboxes <> n then
+    invalid_arg "Congest.exchange: outbox array length mismatch";
+  let inboxes = Array.make n [] in
+  let pair_words = Hashtbl.create 64 in
+  Array.iteri
+    (fun src msgs ->
+      List.iter
+        (fun (dst, payload) ->
+          if dst < 0 || dst >= n then
+            invalid_arg "Congest.exchange: destination out of range";
+          if not (Hashtbl.mem t.neighbors.(src) dst) then
+            raise (Not_an_edge { src; dst });
+          let key = (src, dst) in
+          let cur = try Hashtbl.find pair_words key with Not_found -> 0 in
+          let total = cur + Array.length payload in
+          if total > width then
+            raise (Sim.Bandwidth_exceeded { src; dst; words = total });
+          Hashtbl.replace pair_words key total;
+          inboxes.(dst) <- (src, payload) :: inboxes.(dst))
+        msgs)
+    outboxes;
+  t.rounds <- t.rounds + 1;
+  inboxes
+
+let bfs t s =
+  let n = Graph.n t.graph in
+  let dist = Array.make n (-1) in
+  dist.(s) <- 0;
+  let frontier = ref [ s ] in
+  while !frontier <> [] do
+    let outboxes = Array.make n [] in
+    List.iter
+      (fun v ->
+        outboxes.(v) <-
+          Hashtbl.fold
+            (fun u () acc -> (u, [| dist.(v) |]) :: acc)
+            t.neighbors.(v) [])
+      !frontier;
+    let inboxes = exchange t outboxes in
+    let next = ref [] in
+    Array.iteri
+      (fun v msgs ->
+        if dist.(v) < 0 then
+          List.iter
+            (fun (_, payload) ->
+              if dist.(v) < 0 then begin
+                dist.(v) <- payload.(0) + 1;
+                next := v :: !next
+              end)
+            msgs)
+      inboxes;
+    frontier := !next
+  done;
+  dist
+
+let bellman_ford t s =
+  let n = Graph.n t.graph in
+  let dist = Array.make n infinity in
+  dist.(s) <- 0.;
+  let scale = 1024. in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Every node with a finite distance tells its neighbours (fixed-point
+       encoded to fit the word model). *)
+    let outboxes = Array.make n [] in
+    for v = 0 to n - 1 do
+      if dist.(v) < infinity then
+        outboxes.(v) <-
+          Hashtbl.fold
+            (fun u () acc ->
+              (u, [| int_of_float (Float.round (dist.(v) *. scale)) |]) :: acc)
+            t.neighbors.(v) []
+    done;
+    let inboxes = exchange t outboxes in
+    Array.iteri
+      (fun v msgs ->
+        List.iter
+          (fun (src, payload) ->
+            let d_src = float_of_int payload.(0) /. scale in
+            (* Lightest edge between src and v. *)
+            let w = ref infinity in
+            List.iter
+              (fun (u, id) ->
+                if u = src then w := Float.min !w (Graph.edge t.graph id).Graph.w)
+              (Graph.adj t.graph v);
+            let cand = d_src +. !w in
+            if cand < dist.(v) -. 1e-9 then begin
+              dist.(v) <- cand;
+              changed := true
+            end)
+          msgs)
+      inboxes
+  done;
+  dist
+
+let diameter g =
+  let n = Graph.n g in
+  let worst = ref 0 in
+  (try
+     for s = 0 to n - 1 do
+       let dist = Traversal.bfs g s in
+       Array.iter
+         (fun d ->
+           if d < 0 then begin
+             worst := max_int;
+             raise Exit
+           end
+           else worst := max !worst d)
+         dist
+     done
+   with Exit -> ());
+  !worst
+
+(* --------------------------------------------------- §1.1 reference curves *)
+
+let fglp_laplacian_rounds ~n ~d ~eps =
+  let nf = float_of_int (max n 2) in
+  int_of_float
+    (Float.ceil ((sqrt nf +. float_of_int d) *. log (2. /. Float.max eps 1e-30)))
+
+let fglp_maxflow_rounds ~n ~m ~d ~u =
+  let nf = float_of_int (max n 2) and mf = float_of_int (max m 2) in
+  let df = float_of_int (max d 1) in
+  let per_iter = sqrt nf +. df +. (sqrt nf *. (df ** 0.25)) in
+  int_of_float
+    (Float.ceil
+       (((mf ** (3. /. 7.)) *. (float_of_int (max u 1) ** (1. /. 7.)) *. per_iter)
+       +. sqrt mf))
+
+let fglp_mcf_rounds ~n ~m ~d ~w =
+  let nf = float_of_int (max n 2) and mf = float_of_int (max m 2) in
+  let df = float_of_int (max d 1) in
+  let lw = Float.max 1. (Float.log2 (float_of_int (max w 2))) in
+  int_of_float
+    (Float.ceil ((mf ** (3. /. 7.)) *. ((sqrt nf *. (df ** 0.25)) +. df) *. lw))
+
+let fv22_bcc_mcf_rounds ~n =
+  int_of_float (Float.ceil (sqrt (float_of_int (max n 2))))

@@ -1,0 +1,54 @@
+(** The CONGEST model (§2.1): the congested clique's restricted sibling,
+    where nodes may only exchange messages with their *topological*
+    neighbours. Built so the §1.1 cross-model comparisons are concrete: the
+    same primitive (e.g. BFS) runs on both kernels, and the CONGEST round
+    formulas of the related-work algorithms are kept next to the clique
+    ones.
+
+    Like {!Sim}, delivery is real and bandwidth is enforced (at most [width]
+    words per edge per direction per round). *)
+
+type t
+
+exception Not_an_edge of { src : int; dst : int }
+
+val create : Graph.t -> t
+(** One node per vertex; links are exactly the graph's edges. *)
+
+val rounds : t -> int
+
+val exchange :
+  ?width:int -> t -> (int * int array) list array -> (int * int array) list array
+(** Same contract as {!Sim.exchange}, except messages must follow edges —
+    raises {!Not_an_edge} otherwise. *)
+
+val bfs : t -> int -> int array
+(** Distributed BFS by flooding: node programs on this kernel; returns hop
+    distances ([-1] unreached) and advances the round counter by exactly the
+    eccentricity of the source — the [D] in every CONGEST bound. *)
+
+val bellman_ford : t -> int -> float array
+(** Distributed Bellman–Ford on the edge weights; [O(n)] rounds measured. *)
+
+val diameter : Graph.t -> int
+(** Hop diameter (oracle, not distributed): the [D] parameter of the
+    reference formulas; [max_int] when disconnected. *)
+
+(** {1 §1.1 reference round formulas}
+
+    The CONGEST-model competitors the paper compares against. These are used
+    by the model-comparison bench (E7b) to show that the clique algorithms
+    are "clearly always faster" than their CONGEST counterparts, as §1.1
+    argues. Constants are dropped, like every reference curve (DESIGN.md). *)
+
+val fglp_laplacian_rounds : n:int -> d:int -> eps:float -> int
+(** FGLP+21: [n^{o(1)}(√n + D)·log(1/ε)]. *)
+
+val fglp_maxflow_rounds : n:int -> m:int -> d:int -> u:int -> int
+(** FGLP+21: [Õ(m^{3/7}U^{1/7}(n^{o(1)}(√n+D) + √n·D^{1/4}) + √m)]. *)
+
+val fglp_mcf_rounds : n:int -> m:int -> d:int -> w:int -> int
+(** FGLP+21: [Õ(m^{3/7+o(1)}(√n·D^{1/4} + D)·polylog W)]. *)
+
+val fv22_bcc_mcf_rounds : n:int -> int
+(** FV22 Broadcast Congested Clique min-cost flow: [Õ(√n)] (randomized). *)

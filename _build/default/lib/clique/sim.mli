@@ -1,0 +1,55 @@
+(** Synchronous message-passing kernel — the congested clique itself (§2.1).
+
+    [n] nodes, identified [0..n-1], proceed in synchronous rounds. In one
+    round every ordered pair of nodes may exchange one message of
+    [O(log n)] bits, modeled as at most [width] machine words per ordered
+    pair ([width = 2] by default: a tag word plus a value word). Exceeding
+    the budget raises {!Bandwidth_exceeded} — algorithms cannot cheat.
+
+    The genuinely distributed subroutines (Eulerian orientation and its
+    Cole–Vishkin coloring) run on this kernel; their round counts are
+    *measured*, not charged. *)
+
+type t
+
+exception Bandwidth_exceeded of { src : int; dst : int; words : int }
+
+val create : int -> t
+(** [create n] makes a clique of [n] nodes. *)
+
+val n : t -> int
+
+val rounds : t -> int
+(** Rounds elapsed so far. *)
+
+val words_sent : t -> int
+(** Total words ever sent (message-complexity measure). *)
+
+val exchange :
+  ?width:int -> t -> (int * int array) list array -> (int * int array) list array
+(** [exchange t outboxes] performs one synchronous round. [outboxes.(v)] is
+    node [v]'s list of [(dst, payload)] messages; the result [inboxes.(v)] is
+    the list of [(src, payload)] received by [v], in unspecified order.
+    Raises {!Bandwidth_exceeded} if some ordered pair carries more than
+    [width] words (default 2). Increments {!rounds} by 1. *)
+
+val route :
+  t -> (int * int * int array) list -> (int * int array) list array
+(** [route t msgs] delivers an arbitrary multiset of [(src, dst, payload)]
+    messages using the Lenzen routing subroutine: requires every node to send
+    at most [n·width] and receive at most [n·width] words, executes the
+    delivery, and advances the round counter by
+    [⌈load⌉ · Cost.lenzen_routing_rounds] where [load] is the max
+    words-per-node divided by [n] (so a within-bound batch costs exactly 16
+    rounds, like the paper's step 2b). Raises [Invalid_argument] on
+    out-of-range endpoints. *)
+
+val broadcast : t -> int array array -> int array array
+(** [broadcast t values] has every node send [values.(v)] (at most [width]
+    words) to all others; returns the array of all values (the global view
+    every node now shares). One round. *)
+
+val charge : t -> int -> unit
+(** Advance the round counter without communication (used when a node-local
+    computation stands for a subroutine whose rounds are charged, e.g. the
+    final O(1)-size cycle leader election). *)

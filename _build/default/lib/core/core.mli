@@ -1,0 +1,94 @@
+(** The Laplacian paradigm in the deterministic congested clique.
+
+    Umbrella API over the paper's results (Forster & de Vos, PODC 2023):
+
+    - {!solve_laplacian} — Theorem 1.1, [n^{o(1)} log(U/ε)] rounds;
+    - {!spectral_sparsifier} — Theorem 3.3;
+    - {!eulerian_orientation} — Theorem 1.4, [O(log n · log* n)] rounds;
+    - {!round_flow} — Lemma 4.2;
+    - {!max_flow} — Theorem 1.2, [m^{3/7+o(1)} U^{1/7}] rounds;
+    - {!min_cost_flow} — Theorem 1.3,
+      [Õ(m^{3/7}(n^{0.158} + n^{o(1)} polylog W))] rounds.
+
+    Module aliases expose the full substrate for users who need the pieces
+    (the simulator, generators, baselines, measurement helpers). *)
+
+(** {1 Substrate modules} *)
+
+module Vec = Linalg.Vec
+module Dense = Linalg.Dense
+module Csr = Linalg.Csr
+module Chebyshev = Linalg.Chebyshev
+module Graph = Graph
+module Digraph = Digraph
+module Gen = Gen
+module Sim = Clique.Sim
+module Cost = Clique.Cost
+module Congest = Clique.Congest
+module Boruvka = Clique.Boruvka
+module Conductance = Expander.Conductance
+module Decomposition = Expander.Decomposition
+module Sparsifier = Sparsify.Spectral
+module Quality = Sparsify.Quality
+module Tree = Sparsify.Tree
+module Solver = Laplacian.Solver
+module Orientation = Euler.Orientation
+module Flow_rounding = Rounding.Flow_rounding
+module Flow = Flow
+module Electrical = Electrical
+module Dinic = Dinic
+module Ford_fulkerson = Ford_fulkerson
+module Trivial = Trivial
+module Maxflow = Maxflow_ipm
+module Mincostflow = Mcf_ipm
+module Mcf_ssp = Mcf_ssp
+module Cmsv_bipartite = Cmsv_bipartite
+
+(** {1 Headline entry points} *)
+
+val solve_laplacian :
+  ?eps:float -> Graph.t -> Vec.t -> Vec.t * Laplacian.Solver.report
+(** [solve_laplacian g b] — Theorem 1.1 with default parameters; returns the
+    solution and the full report (rounds, iterations, κ, phases). *)
+
+val spectral_sparsifier : ?phi:float -> Graph.t -> Sparsify.Spectral.result
+(** Theorem 3.3 with default parameters. *)
+
+val eulerian_orientation : Graph.t -> Euler.Orientation.result
+(** Theorem 1.4. *)
+
+val round_flow :
+  ?cost:(int -> float) ->
+  Digraph.t ->
+  s:int ->
+  t:int ->
+  delta:float ->
+  float array ->
+  Rounding.Flow_rounding.result
+(** Lemma 4.2. *)
+
+val max_flow : Digraph.t -> s:int -> t:int -> Maxflow_ipm.report
+(** Theorem 1.2 with default parameters. *)
+
+val min_cost_flow :
+  Digraph.t -> sigma:int array -> Mcf_ipm.report option
+(** Theorem 1.3 with default parameters. *)
+
+val min_cost_max_flow :
+  Digraph.t -> s:int -> t:int -> (Mcf_ipm.report * int) option
+(** The §2.4 reduction: minimum-cost maximum s-t flow by binary search over
+    the flow value (unit capacities). Returns the report and the number of
+    probes. *)
+
+val minimum_spanning_tree : Graph.t -> Clique.Boruvka.result
+(** Borůvka on the message-passing kernel — the model's original problem
+    ([LPSPP05]), [O(log n)] measured broadcast rounds. *)
+
+val effective_resistance : Graph.t -> int -> int -> float
+(** A classic Laplacian-paradigm application, solved with the default
+    electrical backend. *)
+
+val version : string
+
+val pp_phases : Format.formatter -> (string * int) list -> unit
+(** Render a per-phase round breakdown ("sparsify=12 chebyshev=96 ..."). *)

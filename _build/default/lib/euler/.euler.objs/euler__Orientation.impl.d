@@ -1,0 +1,1 @@
+lib/euler/orientation.ml: Array Clique Coloring Fun Graph Hashtbl List Prng

@@ -1,0 +1,1 @@
+lib/expander/conductance.ml: Array Float Graph List

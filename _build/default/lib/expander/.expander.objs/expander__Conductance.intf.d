@@ -1,0 +1,1 @@
+lib/expander/conductance.mli: Graph Linalg

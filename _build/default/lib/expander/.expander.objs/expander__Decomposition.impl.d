@@ -1,0 +1,1 @@
+lib/expander/decomposition.ml: Array Clique Conductance Fiedler Float Graph List Traversal

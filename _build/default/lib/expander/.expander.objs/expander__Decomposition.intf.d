@@ -1,0 +1,1 @@
+lib/expander/decomposition.mli: Graph

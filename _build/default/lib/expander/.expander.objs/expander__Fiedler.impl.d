@@ -1,0 +1,1 @@
+lib/expander/fiedler.ml: Array Float Graph Linalg

@@ -1,0 +1,1 @@
+lib/expander/fiedler.mli: Graph Linalg

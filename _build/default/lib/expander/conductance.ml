@@ -1,0 +1,81 @@
+let volume g inside =
+  let acc = ref 0. in
+  for v = 0 to Graph.n g - 1 do
+    if inside.(v) then acc := !acc +. Graph.weighted_degree g v
+  done;
+  !acc
+
+let cut_weight g inside =
+  Array.fold_left
+    (fun acc e ->
+      if inside.(e.Graph.u) <> inside.(e.Graph.v) then acc +. e.Graph.w
+      else acc)
+    0. (Graph.edges g)
+
+let of_cut g inside =
+  let vol_in = volume g inside in
+  let vol_out =
+    Array.fold_left (fun acc e -> acc +. (2. *. e.Graph.w)) 0. (Graph.edges g)
+    -. vol_in
+  in
+  let denom = Float.min vol_in vol_out in
+  if denom <= 0. then infinity else cut_weight g inside /. denom
+
+let exact g =
+  let n = Graph.n g in
+  if n > 20 then invalid_arg "Conductance.exact: too large (n > 20)";
+  if n < 2 then infinity
+  else begin
+    let best = ref infinity in
+    (* Enumerate subsets containing vertex 0 (complement symmetry). *)
+    for mask = 1 to (1 lsl (n - 1)) - 1 do
+      let inside = Array.make n false in
+      inside.(0) <- true;
+      for b = 0 to n - 2 do
+        if (mask lsr b) land 1 = 1 then inside.(b + 1) <- true
+      done;
+      let all = Array.for_all (fun x -> x) inside in
+      if not all then best := Float.min !best (of_cut g inside)
+    done;
+    (* Also the cuts not containing vertex 0 are complements: covered. *)
+    !best
+  end
+
+let sweep_cut g x =
+  let n = Graph.n g in
+  if n < 2 then ([| true |], infinity)
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare x.(a) x.(b)) order;
+    let inside = Array.make n false in
+    let total_vol =
+      Array.fold_left (fun acc e -> acc +. (2. *. e.Graph.w)) 0.
+        (Graph.edges g)
+    in
+    let vol_in = ref 0. in
+    let cut = ref 0. in
+    let best = ref infinity in
+    let best_prefix = ref 1 in
+    for k = 0 to n - 2 do
+      let v = order.(k) in
+      inside.(v) <- true;
+      vol_in := !vol_in +. Graph.weighted_degree g v;
+      (* Adding v flips the crossing status of each incident edge. *)
+      List.iter
+        (fun (u, id) ->
+          let w = (Graph.edge g id).Graph.w in
+          if inside.(u) then cut := !cut -. w else cut := !cut +. w)
+        (Graph.adj g v);
+      let denom = Float.min !vol_in (total_vol -. !vol_in) in
+      let phi = if denom <= 0. then infinity else !cut /. denom in
+      if phi < !best then begin
+        best := phi;
+        best_prefix := k + 1
+      end
+    done;
+    let result = Array.make n false in
+    for k = 0 to !best_prefix - 1 do
+      result.(order.(k)) <- true
+    done;
+    (result, !best)
+  end

@@ -1,0 +1,120 @@
+let inv_sqrt_degrees g =
+  Array.init (Graph.n g) (fun v ->
+      let d = Graph.weighted_degree g v in
+      if d > 0. then 1. /. sqrt d else 0.)
+
+let normalized_apply g x =
+  let n = Graph.n g in
+  if Array.length x <> n then
+    invalid_arg "Fiedler.normalized_apply: dimension mismatch";
+  let isd = inv_sqrt_degrees g in
+  let y = Linalg.Vec.create n in
+  (* N x = D^{-1/2} L D^{-1/2} x, computed edge-by-edge. *)
+  Array.iter
+    (fun e ->
+      let u = e.Graph.u and v = e.Graph.v and w = e.Graph.w in
+      let xu = x.(u) *. isd.(u) and xv = x.(v) *. isd.(v) in
+      let d = w *. (xu -. xv) in
+      y.(u) <- y.(u) +. (d *. isd.(u));
+      y.(v) <- y.(v) -. (d *. isd.(v)))
+    (Graph.edges g);
+  y
+
+let approx ?(iters = 400) g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Fiedler.approx: need n >= 2";
+  (* Kernel direction of N is D^{1/2} 1. *)
+  let u0 =
+    Linalg.Vec.normalize
+      (Array.init n (fun v ->
+           let d = Graph.weighted_degree g v in
+           sqrt (Float.max d 0.)))
+  in
+  let deflate x =
+    let c = Linalg.Vec.dot x u0 in
+    Linalg.Vec.axpy (-.c) u0 x
+  in
+  (* Power iteration on M = 2I − N; dominant eigenpair on u0⊥ is (2−λ₂). *)
+  let apply_m x =
+    let nx = normalized_apply g x in
+    Array.init n (fun i -> (2. *. x.(i)) -. nx.(i))
+  in
+  let start =
+    Linalg.Vec.normalize
+      (deflate
+         (Linalg.Vec.init n (fun i ->
+              let s = if i land 1 = 0 then 1. else -1. in
+              s *. (1. +. (float_of_int ((i * 2654435761) land 0xffff) /. 65536.)))))
+  in
+  let v = ref start in
+  let mu = ref 0. in
+  for _ = 1 to iters do
+    let w = deflate (apply_m !v) in
+    let nw = Linalg.Vec.norm2 w in
+    if nw > 0. then begin
+      let w = Linalg.Vec.scale (1. /. nw) w in
+      mu := Linalg.Vec.dot w (apply_m w);
+      v := w
+    end
+  done;
+  let lambda2 = Float.max 0. (2. -. !mu) in
+  (* Rescale for sweep rounding: order vertices by (D^{-1/2} x). *)
+  let isd = inv_sqrt_degrees g in
+  let x = Array.mapi (fun i xi -> xi *. isd.(i)) !v in
+  (lambda2, x)
+
+(* Jacobi eigenvalue iteration on the dense normalized Laplacian. *)
+let lambda2_exact g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Fiedler.lambda2_exact: need n >= 2";
+  let isd = inv_sqrt_degrees g in
+  let a = Array.make_matrix n n 0. in
+  for v = 0 to n - 1 do
+    if Graph.weighted_degree g v > 0. then a.(v).(v) <- 1.
+  done;
+  Array.iter
+    (fun e ->
+      let u = e.Graph.u and v = e.Graph.v and w = e.Graph.w in
+      let x = -.w *. isd.(u) *. isd.(v) in
+      a.(u).(v) <- a.(u).(v) +. x;
+      a.(v).(u) <- a.(v).(u) +. x)
+    (Graph.edges g);
+  let off_norm () =
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (a.(i).(j) *. a.(i).(j))
+      done
+    done;
+    sqrt !s
+  in
+  let sweeps = ref 0 in
+  while off_norm () > 1e-12 && !sweeps < 100 do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        if Float.abs a.(p).(q) > 1e-15 then begin
+          let theta = (a.(q).(q) -. a.(p).(p)) /. (2. *. a.(p).(q)) in
+          let t =
+            let s = if theta >= 0. then 1. else -1. in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = t *. c in
+          for k = 0 to n - 1 do
+            let akp = a.(k).(p) and akq = a.(k).(q) in
+            a.(k).(p) <- (c *. akp) -. (s *. akq);
+            a.(k).(q) <- (s *. akp) +. (c *. akq)
+          done;
+          for k = 0 to n - 1 do
+            let apk = a.(p).(k) and aqk = a.(q).(k) in
+            a.(p).(k) <- (c *. apk) -. (s *. aqk);
+            a.(q).(k) <- (s *. apk) +. (c *. aqk)
+          done
+        end
+      done
+    done
+  done;
+  let eigs = Array.init n (fun i -> a.(i).(i)) in
+  Array.sort compare eigs;
+  eigs.(1)

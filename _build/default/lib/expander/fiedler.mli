@@ -1,0 +1,21 @@
+(** Deterministic approximate Fiedler vectors.
+
+    Substitute for the spectral engine inside the Chang–Saranurak expander
+    decomposition (DESIGN.md, substitution 2). Power iteration on the
+    deflated, shifted normalized Laplacian from a fixed starting vector —
+    no randomness, so the whole decomposition stays deterministic as the
+    paper requires. *)
+
+val normalized_apply : Graph.t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Applies [N = D^{-1/2} L D^{-1/2}] edge-by-edge. Isolated vertices are
+    treated as fixed points ([N x]_v = 0). *)
+
+val approx : ?iters:int -> Graph.t -> float * Linalg.Vec.t
+(** [approx g] returns [(λ₂ estimate, x)] where [x] approximates the Fiedler
+    vector of the *normalized* Laplacian, already rescaled by [D^{-1/2}] so
+    that {!Conductance.sweep_cut} can consume it directly. [λ₂ ∈ [0, 2]].
+    Requires [Graph.n g ≥ 2]. *)
+
+val lambda2_exact : Graph.t -> float
+(** Exact [λ₂] of the normalized Laplacian via dense eigendecomposition
+    (Jacobi iteration); [O(n³)] — a test oracle for {!approx}. *)

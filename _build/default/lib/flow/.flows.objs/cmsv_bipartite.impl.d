@@ -1,0 +1,1 @@
+lib/flow/cmsv_bipartite.ml: Array Clique Digraph Electrical Float Flow Graph Linalg List Mcf_ipm

@@ -1,0 +1,1 @@
+lib/flow/cmsv_bipartite.mli: Digraph Electrical Flow

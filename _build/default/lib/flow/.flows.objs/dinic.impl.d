@@ -1,0 +1,1 @@
+lib/flow/dinic.ml: Array Digraph List Queue

@@ -1,0 +1,1 @@
+lib/flow/electrical.ml: Array Clique Graph Laplacian Linalg List

@@ -1,0 +1,1 @@
+lib/flow/electrical.mli: Graph Linalg

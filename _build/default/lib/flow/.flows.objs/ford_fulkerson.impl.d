@@ -1,0 +1,1 @@
+lib/flow/ford_fulkerson.ml: Array Clique Digraph Flow List Printf Queue

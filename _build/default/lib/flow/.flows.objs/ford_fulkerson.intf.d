@@ -1,0 +1,1 @@
+lib/flow/ford_fulkerson.mli: Digraph Flow

@@ -1,0 +1,1 @@
+lib/flow/maxflow_ipm.ml: Array Clique Digraph Dinic Electrical Euler Float Flow Ford_fulkerson Graph Linalg List Logs Rounding

@@ -1,0 +1,1 @@
+lib/flow/maxflow_ipm.mli: Digraph Electrical Flow

@@ -1,0 +1,1 @@
+lib/flow/mcf_ipm.ml: Array Clique Decompose Digraph Electrical Euler Float Flow Graph Linalg List Logs Rounding

@@ -1,0 +1,1 @@
+lib/flow/mcf_ipm.mli: Clique Digraph Electrical Flow

@@ -1,0 +1,1 @@
+lib/flow/mcf_ssp.ml: Array Clique Digraph Flow List Set

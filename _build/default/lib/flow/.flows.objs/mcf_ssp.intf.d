@@ -1,0 +1,1 @@
+lib/flow/mcf_ssp.mli: Digraph Flow

@@ -1,0 +1,1 @@
+lib/flow/sssp.ml: Array Clique Digraph List Set

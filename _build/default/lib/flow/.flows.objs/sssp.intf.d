@@ -1,0 +1,1 @@
+lib/flow/sssp.mli: Digraph

@@ -1,0 +1,1 @@
+lib/flow/trivial.ml: Clique Digraph Dinic Flow Mcf_ssp

@@ -1,0 +1,1 @@
+lib/flow/trivial.mli: Digraph Flow

@@ -1,0 +1,147 @@
+type item =
+  | Path of { arcs : int list; amount : float }
+  | Cycle of { arcs : int list; amount : float }
+
+(* Walk forward along the arc with the largest remaining flow, peeling off a
+   cycle whenever the walk revisits a vertex. A dead end (every outgoing
+   residue ≤ tol while we entered with > tol — possible because sub-tolerance
+   dribble is invisible) is resolved by backtracking: the offending entering
+   arc is zeroed (conservation bounds it by degree·tol) and the walk resumes
+   one step earlier. Every call either extracts an item or zeroes at least
+   one arc, so the decomposition terminates after ≤ 2m calls. *)
+let decompose ?(tol = 1e-9) g ~s ~t f =
+  let m = Digraph.m g in
+  let rem = Array.copy f in
+  Array.iter
+    (fun x -> if x < -.tol then invalid_arg "Decompose: negative flow")
+    rem;
+  let items = ref [] in
+  let next_arc v =
+    List.fold_left
+      (fun best id ->
+        if rem.(id) > tol then
+          match best with
+          | Some b when rem.(b) >= rem.(id) -> best
+          | _ -> Some id
+        else best)
+      None (Digraph.out_arcs g v)
+  in
+  let extract_from start ~expect_path =
+    let on_path = Array.make (Digraph.n g) (-1) in
+    let walk = ref [] in
+    (* reversed arc list *)
+    let len = ref 0 in
+    let v = ref start in
+    on_path.(start) <- 0;
+    let rebuild kept =
+      Array.fill on_path 0 (Array.length on_path) (-1);
+      on_path.(start) <- 0;
+      walk := [];
+      let pos = ref 0 in
+      List.iter
+        (fun e ->
+          walk := e :: !walk;
+          incr pos;
+          on_path.((Digraph.arc g e).Digraph.dst) <- !pos)
+        kept;
+      len := List.length kept
+    in
+    let finished = ref false in
+    while not !finished do
+      if expect_path && !v = t && !len > 0 then begin
+        let arcs = List.rev !walk in
+        let amount =
+          List.fold_left (fun a id -> Float.min a rem.(id)) infinity arcs
+        in
+        List.iter (fun id -> rem.(id) <- rem.(id) -. amount) arcs;
+        items := Path { arcs; amount } :: !items;
+        finished := true
+      end
+      else begin
+        match next_arc !v with
+        | None ->
+          if !len = 0 then finished := true
+          else begin
+            (* Dead end: zero the entering arc and back up one step. *)
+            match !walk with
+            | [] -> finished := true
+            | last :: rest ->
+              rem.(last) <- 0.;
+              on_path.(!v) <- -1;
+              walk := rest;
+              decr len;
+              v := (Digraph.arc g last).Digraph.src
+          end
+        | Some id ->
+          let dst = (Digraph.arc g id).Digraph.dst in
+          if on_path.(dst) >= 0 then begin
+            let pos = on_path.(dst) in
+            let all = List.rev (id :: !walk) in
+            let in_cycle = List.filteri (fun i _ -> i >= pos) all in
+            let amount =
+              List.fold_left (fun a e -> Float.min a rem.(e)) infinity in_cycle
+            in
+            List.iter (fun e -> rem.(e) <- rem.(e) -. amount) in_cycle;
+            items := Cycle { arcs = in_cycle; amount } :: !items;
+            let kept = List.filteri (fun i _ -> i < pos) (List.rev !walk) in
+            rebuild kept;
+            v := dst;
+            if not expect_path then finished := true
+          end
+          else begin
+            walk := id :: !walk;
+            incr len;
+            v := dst;
+            on_path.(dst) <- !len
+          end
+      end
+    done
+  in
+  (* Phase 1: peel s→t paths while the flow still carries net value out of
+     s. Driving this by the net excess (not by leftover outgoing residue)
+     keeps circulations through s out of the path phase. *)
+  let net_out_of_s () =
+    List.fold_left (fun a id -> a +. rem.(id)) 0. (Digraph.out_arcs g s)
+    -. List.fold_left (fun a id -> a +. rem.(id)) 0. (Digraph.in_arcs g s)
+  in
+  let guard = ref 0 in
+  while net_out_of_s () > tol && !guard < (4 * m) + 4 do
+    incr guard;
+    extract_from s ~expect_path:true
+  done;
+  (* Phase 2: the rest is (approximately) a circulation; peel cycles. *)
+  let rec first_loaded e =
+    if e >= m then None else if rem.(e) > tol then Some e else first_loaded (e + 1)
+  in
+  let guard2 = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !guard2 < (4 * m) + 4 do
+    incr guard2;
+    match first_loaded 0 with
+    | None -> continue_ := false
+    | Some e -> extract_from (Digraph.arc g e).Digraph.src ~expect_path:false
+  done;
+  List.rev !items
+
+let accumulate g items =
+  let f = Array.make (Digraph.m g) 0. in
+  List.iter
+    (fun item ->
+      let arcs, amount =
+        match item with
+        | Path { arcs; amount } -> (arcs, amount)
+        | Cycle { arcs; amount } -> (arcs, amount)
+      in
+      List.iter (fun id -> f.(id) <- f.(id) +. amount) arcs)
+    items;
+  f
+
+let quantize_paths ~delta items =
+  List.filter_map
+    (fun item ->
+      match item with
+      | Cycle _ -> None
+      | Path { arcs; amount } ->
+        let q = delta *. Float.of_int (int_of_float (amount /. delta)) in
+        if q <= 0. then None else Some (Path { arcs; amount = q }))
+    items

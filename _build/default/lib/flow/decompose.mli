@@ -1,0 +1,25 @@
+(** Path/cycle decomposition of a non-negative flow.
+
+    Used by the max-flow pipeline to (a) snap a fractional interior-point
+    flow onto the Δ-grid path-by-path — which preserves exact grid
+    conservation, the precondition of {!Rounding.Flow_rounding} — and (b)
+    drop circulation through the preconditioning arcs (see DESIGN.md
+    substitution 6). Any flow decomposes into at most [m] paths/cycles. *)
+
+type item =
+  | Path of { arcs : int list; amount : float }
+      (** s→t path, arc ids in order *)
+  | Cycle of { arcs : int list; amount : float }
+
+val decompose :
+  ?tol:float -> Digraph.t -> s:int -> t:int -> float array -> item list
+(** Requires [f ≥ 0] conserving (up to [tol], default 1e-9) at every vertex
+    other than [s], [t]. The items reconstruct [f] up to [m·tol]. *)
+
+val accumulate : Digraph.t -> item list -> float array
+(** Inverse of {!decompose}: sum the items back into a per-arc flow. *)
+
+val quantize_paths : delta:float -> item list -> item list
+(** Keep only paths, with amounts floored to multiples of [delta]; drops
+    cycles and zero-amount paths. The result accumulates to a grid-exact
+    conserving flow whose value is within [#paths·delta] of the input's. *)

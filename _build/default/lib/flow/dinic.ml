@@ -1,0 +1,111 @@
+(* Residual network: arc 2i is the forward copy of input arc i, arc 2i+1 its
+   reverse. *)
+
+type residual = {
+  n : int;
+  heads : int array;
+  caps : int array; (* mutable residual capacities *)
+  adj : int list array; (* per vertex: residual arc ids *)
+}
+
+let build g =
+  let n = Digraph.n g in
+  let m = Digraph.m g in
+  let heads = Array.make (2 * m) 0 in
+  let caps = Array.make (2 * m) 0 in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun i a ->
+      heads.(2 * i) <- a.Digraph.dst;
+      caps.(2 * i) <- a.Digraph.cap;
+      heads.((2 * i) + 1) <- a.Digraph.src;
+      caps.((2 * i) + 1) <- 0;
+      adj.(a.Digraph.src) <- (2 * i) :: adj.(a.Digraph.src);
+      adj.(a.Digraph.dst) <- ((2 * i) + 1) :: adj.(a.Digraph.dst))
+    (Digraph.arcs g);
+  { n; heads; caps; adj }
+
+let bfs_levels r s =
+  let level = Array.make r.n (-1) in
+  let q = Queue.create () in
+  level.(s) <- 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun id ->
+        let u = r.heads.(id) in
+        if r.caps.(id) > 0 && level.(u) < 0 then begin
+          level.(u) <- level.(v) + 1;
+          Queue.add u q
+        end)
+      r.adj.(v)
+  done;
+  level
+
+let rec dfs r level iter v t pushed =
+  if v = t then pushed
+  else begin
+    let rec try_arcs () =
+      match iter.(v) with
+      | [] -> 0
+      | id :: rest ->
+        let u = r.heads.(id) in
+        if r.caps.(id) > 0 && level.(u) = level.(v) + 1 then begin
+          let got = dfs r level iter u t (min pushed r.caps.(id)) in
+          if got > 0 then begin
+            r.caps.(id) <- r.caps.(id) - got;
+            r.caps.(id lxor 1) <- r.caps.(id lxor 1) + got;
+            got
+          end
+          else begin
+            iter.(v) <- rest;
+            try_arcs ()
+          end
+        end
+        else begin
+          iter.(v) <- rest;
+          try_arcs ()
+        end
+    in
+    try_arcs ()
+  end
+
+let run g ~s ~t =
+  if s = t then invalid_arg "Dinic.max_flow: s = t";
+  let r = build g in
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let level = bfs_levels r s in
+    if level.(t) < 0 then continue_ := false
+    else begin
+      let iter = Array.map (fun l -> l) r.adj in
+      let rec pump () =
+        let got = dfs r level iter s t max_int in
+        if got > 0 then begin
+          total := !total + got;
+          pump ()
+        end
+      in
+      pump ()
+    end
+  done;
+  (r, !total)
+
+let max_flow g ~s ~t =
+  let r, total = run g ~s ~t in
+  let m = Digraph.m g in
+  let f =
+    Array.init m (fun i ->
+        let a = Digraph.arc g i in
+        float_of_int (a.Digraph.cap - r.caps.(2 * i)))
+  in
+  (f, total)
+
+let max_flow_value g ~s ~t = snd (run g ~s ~t)
+
+let min_cut g ~s ~t =
+  let r, _ = run g ~s ~t in
+  let level = bfs_levels r s in
+  Array.map (fun l -> l >= 0) level

@@ -1,0 +1,14 @@
+(** Dinic's max-flow algorithm — the exact sequential reference.
+
+    Not a congested-clique algorithm: this is the test/bench oracle every
+    distributed result is validated against, and the internal solver of the
+    trivial gather-everything baseline (§1.1). *)
+
+val max_flow : Digraph.t -> s:int -> t:int -> Flow.t * int
+(** [max_flow g ~s ~t] returns the per-arc integral flow and its value.
+    Raises [Invalid_argument] if [s = t]. *)
+
+val max_flow_value : Digraph.t -> s:int -> t:int -> int
+
+val min_cut : Digraph.t -> s:int -> t:int -> bool array
+(** Source side of a minimum s-t cut (by BFS on the final residual). *)

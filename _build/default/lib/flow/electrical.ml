@@ -1,0 +1,68 @@
+type t = {
+  potentials : Linalg.Vec.t;
+  flow : float array;
+  energy : float;
+  solver_rounds : int;
+  solver_iterations : int;
+}
+
+type solver = Exact | Cg of float | Theorem_1_1 of float
+
+let conductance_graph support resistance =
+  Graph.create (Graph.n support)
+    (Array.to_list (Graph.edges support)
+    |> List.mapi (fun id e ->
+           let r = resistance id in
+           if r <= 0. then invalid_arg "Electrical: non-positive resistance";
+           { e with Graph.w = 1. /. r }))
+
+let compute ?(solver = Cg 1e-10) ~support ~resistance ~b () =
+  let cg = conductance_graph support resistance in
+  let b = Linalg.Vec.center b in
+  let potentials, rounds, iters =
+    match solver with
+    | Exact ->
+      let l = Graph.laplacian_dense cg in
+      (Linalg.Dense.solve_grounded l b, 1, 1)
+    | Cg tol ->
+      let x, st = Linalg.Cg.solve_grounded ~tol (Graph.apply_laplacian cg) b in
+      (x, st.Linalg.Cg.iterations * Clique.Cost.matvec_rounds,
+       st.Linalg.Cg.iterations)
+    | Theorem_1_1 eps ->
+      let r = Laplacian.Solver.solve ~eps cg b in
+      (r.Laplacian.Solver.x, r.Laplacian.Solver.rounds,
+       r.Laplacian.Solver.iterations)
+  in
+  let phi = potentials in
+  let m = Graph.m support in
+  let flow = Array.make m 0. in
+  let energy = ref 0. in
+  Array.iteri
+    (fun id e ->
+      let r = resistance id in
+      let f = (phi.(e.Graph.u) -. phi.(e.Graph.v)) /. r in
+      flow.(id) <- f;
+      energy := !energy +. (r *. f *. f))
+    (Graph.edges support);
+  {
+    potentials = phi;
+    flow;
+    energy = !energy;
+    solver_rounds = rounds;
+    solver_iterations = iters;
+  }
+
+let effective_resistance ?solver g u v =
+  if u = v then 0.
+  else begin
+    let n = Graph.n g in
+    let b =
+      Linalg.Vec.sub (Linalg.Vec.basis n u) (Linalg.Vec.basis n v)
+    in
+    let r =
+      compute ?solver ~support:g
+        ~resistance:(fun id -> 1. /. (Graph.edge g id).Graph.w)
+        ~b ()
+    in
+    r.potentials.(u) -. r.potentials.(v)
+  end

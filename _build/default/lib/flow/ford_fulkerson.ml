@@ -1,0 +1,100 @@
+type report = { f : Flow.t; value : int; iterations : int; rounds : int }
+
+(* BFS augmenting paths on the residual graph, starting from an arbitrary
+   feasible integral flow. Exposed separately because the IPM pipeline uses
+   it as its exact repair phase (warm-started), while the §1.1 baseline
+   starts from zero. Each iteration is one reachability query, charged at
+   the CKKL rate. *)
+let augment_from g ~s ~t ~initial =
+  let m = Digraph.m g in
+  let n = Digraph.n g in
+  let forward =
+    Array.init m (fun id -> (Digraph.arc g id).Digraph.cap - initial.(id))
+  in
+  let backward = Array.copy initial in
+  Array.iteri
+    (fun id slack ->
+      if slack < 0 || backward.(id) < 0 then
+        invalid_arg
+          (Printf.sprintf "Ford_fulkerson: infeasible initial flow on arc %d"
+             id))
+    forward;
+  let iterations = ref 0 in
+  let gained = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let dist = Array.make n (-1) in
+    let parent = Array.make n 0 in
+    (* encodes (arc id, direction): 2id forward, 2id+1 reverse *)
+    let q = Queue.create () in
+    dist.(s) <- 0;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun id ->
+          let a = Digraph.arc g id in
+          if forward.(id) > 0 && dist.(a.Digraph.dst) < 0 then begin
+            dist.(a.Digraph.dst) <- dist.(v) + 1;
+            parent.(a.Digraph.dst) <- 2 * id;
+            Queue.add a.Digraph.dst q
+          end)
+        (Digraph.out_arcs g v);
+      List.iter
+        (fun id ->
+          let a = Digraph.arc g id in
+          if backward.(id) > 0 && dist.(a.Digraph.src) < 0 then begin
+            dist.(a.Digraph.src) <- dist.(v) + 1;
+            parent.(a.Digraph.src) <- (2 * id) + 1;
+            Queue.add a.Digraph.src q
+          end)
+        (Digraph.in_arcs g v)
+    done;
+    if dist.(t) < 0 then continue_ := false
+    else begin
+      incr iterations;
+      let rec walk v acc =
+        if v = s then acc
+        else begin
+          let code = parent.(v) in
+          let id = code / 2 in
+          let a = Digraph.arc g id in
+          if code land 1 = 0 then walk a.Digraph.src ((id, true) :: acc)
+          else walk a.Digraph.dst ((id, false) :: acc)
+        end
+      in
+      let path = walk t [] in
+      let bottleneck =
+        List.fold_left
+          (fun b (id, fwd) ->
+            min b (if fwd then forward.(id) else backward.(id)))
+          max_int path
+      in
+      List.iter
+        (fun (id, fwd) ->
+          if fwd then begin
+            forward.(id) <- forward.(id) - bottleneck;
+            backward.(id) <- backward.(id) + bottleneck
+          end
+          else begin
+            backward.(id) <- backward.(id) - bottleneck;
+            forward.(id) <- forward.(id) + bottleneck
+          end)
+        path;
+      gained := !gained + bottleneck
+    end
+  done;
+  (Array.copy backward, !gained, !iterations)
+
+let max_flow g ~s ~t =
+  let m = Digraph.m g in
+  let zero = Array.make m 0 in
+  let flow, value, iterations = augment_from g ~s ~t ~initial:zero in
+  {
+    f = Array.map float_of_int flow;
+    value;
+    iterations;
+    rounds = (iterations + 1) * Clique.Cost.apsp_rounds (Digraph.n g);
+  }
+
+let rounds_reference ~n ~value = (value + 1) * Clique.Cost.apsp_rounds n

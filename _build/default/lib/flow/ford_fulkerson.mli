@@ -1,0 +1,24 @@
+(** Ford–Fulkerson in the congested clique — the §1.1 deterministic baseline.
+
+    [|f*|] iterations, each one s-t reachability query on the residual
+    graph; reachability is charged at the CKKL'19 rate of [O(n^{0.158})]
+    rounds per query, giving the paper's [O(|f*|·n^{0.158})] total. The
+    comparison point for experiment E7. *)
+
+type report = {
+  f : Flow.t;
+  value : int;
+  iterations : int;  (** = number of augmenting paths = |f*| on unit steps *)
+  rounds : int;  (** charged: (iterations + 1) · ⌈n^{0.158}⌉ *)
+}
+
+val max_flow : Digraph.t -> s:int -> t:int -> report
+
+val augment_from :
+  Digraph.t -> s:int -> t:int -> initial:int array -> int array * int * int
+(** [augment_from g ~s ~t ~initial] augments a feasible integral flow to a
+    maximum one; returns [(flow, value gained, iterations)]. The IPM's exact
+    repair phase. Raises [Invalid_argument] on an infeasible start. *)
+
+val rounds_reference : n:int -> value:int -> int
+(** The [O(|f*|·n^{0.158})] reference curve for E7. *)

@@ -1,0 +1,58 @@
+(** Deterministic maximum flow in the congested clique — Theorem 1.2,
+    [m^{3/7+o(1)} U^{1/7}] rounds.
+
+    Mądry's interior-point pipeline as the paper runs it (§5, Appendix B):
+    + {b IPM phase} — augmenting electrical flows: per progress step one
+      Augmentation solve and one Fixing solve (two Laplacian systems,
+      [n^{o(1)}] rounds each by Theorem 1.1), with step sizes controlled by
+      the congestion of the electrical flow, on the two-sided-capacity
+      symmetrization of the input ([u⁺_e = u⁻_e = u_e], Mądry's setting;
+      this replaces his preconditioning-edge + Boosting machinery — see
+      DESIGN.md substitution 6 — and makes [f = 0] a strictly interior
+      start);
+    + {b rounding} — the fractional flow is gathered (its size is one word
+      per arc), projected onto the largest directed-feasible flow dominated
+      by its positive part — an internal exact computation on [Δ = Θ(1/m)]
+      grid units, so grid conservation is exact — and rounded to integrality
+      with {!Rounding.Flow_rounding} (Lemma 4.2);
+    + {b repair} — remaining deficit is closed with augmenting paths on the
+      residual graph, each charged the CKKL reachability rate
+      [O(n^{0.158})]; the paper needs one augmentation, our relaxation may
+      need a few more on non-layered instances (reported, and exactness is
+      unconditional).
+
+    The result is always the exact maximum flow (validated against Dinic in
+    the test suite). *)
+
+type report = {
+  f : Flow.t;  (** exact integral maximum flow *)
+  value : int;
+  ipm_iterations : int;  (** progress steps actually taken *)
+  laplacian_solves : int;
+  repair_augmentations : int;
+  rounds : int;  (** total charged rounds *)
+  phase_rounds : (string * int) list;
+      (** "ipm", "gather", "rounding", "repair" *)
+}
+
+val max_flow :
+  ?solver:Electrical.solver ->
+  ?iteration_cap:int ->
+  Digraph.t ->
+  s:int ->
+  t:int ->
+  report
+(** [max_flow g ~s ~t]. [solver] selects the Laplacian backend for the
+    electrical flows (default [Cg 1e-10]; use [Theorem_1_1] for full-fidelity
+    round accounting, at real wall-clock cost). [iteration_cap] bounds the
+    IPM phase (default [100 + 20·iterations_reference]); exactness never depends
+    on the cap. *)
+
+val iterations_reference : m:int -> u:int -> int
+(** The [m^{3/7} U^{1/7}]-shaped progress-step curve for E5 ([η = 1/14];
+    the paper's [100·log U] constant is dropped so the reference is
+    comparable to measured counts at bench sizes). *)
+
+val rounds_reference : n:int -> m:int -> u:int -> int
+(** [iterations_reference · (solver rounds per step)] + rounding + one
+    repair — the E5 reference total. *)

@@ -1,0 +1,87 @@
+(** Deterministic unit-capacity minimum-cost flow in the congested clique —
+    Theorem 1.3, [Õ(m^{3/7}(n^{0.158} + n^{o(1)} polylog W))] rounds.
+
+    The Cohen–Mądry–Sankowski–Vladu pipeline as the paper runs it (§6,
+    Appendix C):
+    + {b Initialization} (Algorithm 7) — an auxiliary vertex with
+      [2|t(v)|] parallel unit arcs of cost [‖c‖₁] absorbs each vertex's
+      imbalance [t(v) = σ(v) + (deg_in − deg_out)/2], so that [f = ½]
+      {e everywhere} is a strictly interior demand-feasible start (we keep
+      the lift in this direct arc form; CMSV's bipartite [P∪Q] re-encoding
+      of the same box constraint is folded into the two-sided barrier — see
+      DESIGN.md substitution 6);
+    + {b Progress} (Algorithm 9) — central-path following: per iteration one
+      weighted-Laplacian solve ([n^{o(1)}] rounds by Theorem 1.1) gives the
+      Newton/electrical step, and the CMSV congestion rule
+      [δ = min(1/8, 1/(8‖ρ‖₄))] caps the µ-reduction — the role their
+      Perturbation step plays is served by the cap (measured, reported);
+    + {b Repairing} (Algorithm 10) — cost-aware flow rounding (Lemma 4.2
+      with the cost rule), then exact repair: deficit-routing shortest-path
+      augmentations and negative-cycle cancellations on the residual graph,
+      each charged the CKKL rate [O(n^{0.158})].
+
+    The result is always the exact minimum-cost flow (validated against the
+    successive-shortest-paths oracle in the test suite). *)
+
+(** {1 Shared pipeline pieces}
+
+    {!Cmsv_bipartite} (the verbatim Appendix C engine) reuses the lift and
+    the Repairing phase, so they are exposed here. *)
+
+type lift = {
+  lg : Digraph.t;  (** original arcs first, auxiliary arcs after *)
+  m0 : int;  (** number of original arcs *)
+  v_aux : int;
+  sigma_hat : int array;  (** demand extended with 0 at the auxiliary vertex *)
+}
+
+val build_lift : Digraph.t -> sigma:int array -> lift
+(** Algorithm 7's [G₁]: the auxiliary vertex plus [2|t(v)|] imbalance arcs
+    of cost [‖c‖₁]. Validates unit capacities and [Σσ = 0]. *)
+
+val round_and_repair :
+  lift -> float array -> Clique.Cost.t -> (Flow.t * int) option
+(** Algorithm 10's role: gather + grid quantization + cost-aware Lemma 4.2
+    rounding + deficit routing + negative-cycle cancelling. [None] when the
+    instance is infeasible (auxiliary arcs stay loaded). Returns the exact
+    original-arc flow and the repair-operation count; charges its phases
+    into the given accumulator. *)
+
+type report = {
+  f : Flow.t;  (** exact integral min-cost flow on the input arcs *)
+  cost : float;
+  ipm_iterations : int;
+  laplacian_solves : int;
+  repair_augmentations : int;  (** deficit paths + negative-cycle cancels *)
+  rounds : int;
+  phase_rounds : (string * int) list;
+}
+
+val solve :
+  ?solver:Electrical.solver ->
+  ?iteration_cap:int ->
+  Digraph.t ->
+  sigma:int array ->
+  report option
+(** [solve g ~sigma] for a unit-capacity digraph and a demand vector summing
+    to zero ([σ(v) > 0] = supply). [None] when the demand is infeasible.
+    Raises [Invalid_argument] on non-unit capacities. *)
+
+val solve_max_flow_min_cost :
+  ?solver:Electrical.solver ->
+  Digraph.t ->
+  s:int ->
+  t:int ->
+  (report * int) option
+(** Minimum-cost maximum s-t flow by the §2.4 reduction: binary search over
+    the flow value with a demand-feasibility probe per step (each probe is a
+    full Theorem 1.3 solve, so the round total multiplies by [log F*]).
+    Returns the report at the optimum together with the number of probes;
+    [None] only if even value 0 fails (never, for s ≠ t). *)
+
+val iterations_reference : m:int -> w:int -> int
+(** The [m^{3/7}·log W]-shaped progress curve for E6 (CMSV's constants are
+    dropped so the reference is comparable to measured counts at bench
+    sizes). *)
+
+val rounds_reference : n:int -> m:int -> w:int -> int

@@ -1,0 +1,169 @@
+type report = { f : Flow.t; cost : float; augmentations : int; rounds : int }
+
+(* Residual arcs: 2i forward (cost c_i), 2i+1 reverse (cost −c_i). *)
+type residual = {
+  n : int;
+  heads : int array;
+  caps : int array;
+  costs : float array;
+  adj : int list array;
+}
+
+let build g extra_arcs =
+  let base = Array.to_list (Digraph.arcs g) in
+  let all = Array.of_list (base @ extra_arcs) in
+  let m = Array.length all in
+  let n = Digraph.n g in
+  let heads = Array.make (2 * m) 0 in
+  let caps = Array.make (2 * m) 0 in
+  let costs = Array.make (2 * m) 0. in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun i a ->
+      heads.(2 * i) <- a.Digraph.dst;
+      caps.(2 * i) <- a.Digraph.cap;
+      costs.(2 * i) <- float_of_int a.Digraph.cost;
+      heads.((2 * i) + 1) <- a.Digraph.src;
+      caps.((2 * i) + 1) <- 0;
+      costs.((2 * i) + 1) <- -.float_of_int a.Digraph.cost;
+      adj.(a.Digraph.src) <- (2 * i) :: adj.(a.Digraph.src);
+      adj.(a.Digraph.dst) <- ((2 * i) + 1) :: adj.(a.Digraph.dst))
+    all;
+  { n; heads; caps; costs; adj }
+
+let tails r =
+  (* tail of residual arc id: head of its partner *)
+  fun id -> r.heads.(id lxor 1)
+
+(* One Dijkstra on reduced costs; returns (dist, parent residual arc). *)
+let dijkstra r pi sources =
+  let dist = Array.make r.n infinity in
+  let parent = Array.make r.n (-1) in
+  let module Pq = Set.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  let pq = ref Pq.empty in
+  List.iter
+    (fun s ->
+      dist.(s) <- 0.;
+      pq := Pq.add (0., s) !pq)
+    sources;
+  while not (Pq.is_empty !pq) do
+    let ((d, v) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if d <= dist.(v) +. 1e-12 then
+      List.iter
+        (fun id ->
+          if r.caps.(id) > 0 then begin
+            let u = r.heads.(id) in
+            let w = r.costs.(id) +. pi.(v) -. pi.(u) in
+            let w = if w < 0. then 0. else w in
+            (* reduced costs are ≥ 0 up to float noise *)
+            let nd = d +. w in
+            if nd < dist.(u) -. 1e-12 then begin
+              dist.(u) <- nd;
+              parent.(u) <- id;
+              pq := Pq.add (nd, u) !pq
+            end
+          end)
+        r.adj.(v)
+  done;
+  (dist, parent)
+
+let solve_internal g extra_arcs ~source ~sink =
+  let r = build g extra_arcs in
+  let pi = Array.make r.n 0. in
+  (* Initial potentials via Bellman–Ford (costs may not be reachable-sorted;
+     our costs are non-negative so zero potentials are already valid). *)
+  let augmentations = ref 0 in
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let dist, parent = dijkstra r pi [ source ] in
+    if dist.(sink) = infinity then continue_ := false
+    else begin
+      incr augmentations;
+      (* Update potentials. *)
+      for v = 0 to r.n - 1 do
+        if dist.(v) < infinity then pi.(v) <- pi.(v) +. dist.(v)
+      done;
+      (* Bottleneck along the parent path. *)
+      let rec bottleneck v acc =
+        if v = source then acc
+        else begin
+          let id = parent.(v) in
+          bottleneck (tails r id) (min acc r.caps.(id))
+        end
+      in
+      let b = bottleneck sink max_int in
+      let rec push v =
+        if v <> source then begin
+          let id = parent.(v) in
+          r.caps.(id) <- r.caps.(id) - b;
+          r.caps.(id lxor 1) <- r.caps.(id lxor 1) + b;
+          push (tails r id)
+        end
+      in
+      push sink;
+      total := !total + b
+    end
+  done;
+  (r, !total, !augmentations)
+
+let flow_of_residual g r =
+  Array.init (Digraph.m g) (fun i ->
+      let a = Digraph.arc g i in
+      float_of_int (a.Digraph.cap - r.caps.(2 * i)))
+
+let solve g ~sigma =
+  let n = Digraph.n g in
+  if Array.length sigma <> n then invalid_arg "Mcf_ssp.solve: sigma length";
+  if Array.fold_left ( + ) 0 sigma <> 0 then
+    invalid_arg "Mcf_ssp.solve: sigma must sum to zero";
+  (* Super source/sink routed through two fresh vertices. *)
+  let g' =
+    Digraph.create (n + 2)
+      (Array.to_list (Digraph.arcs g))
+  in
+  let source = n and sink = n + 1 in
+  let extra = ref [] in
+  let supply = ref 0 in
+  Array.iteri
+    (fun v s ->
+      if s > 0 then begin
+        extra := { Digraph.src = source; dst = v; cap = s; cost = 0 } :: !extra;
+        supply := !supply + s
+      end
+      else if s < 0 then
+        extra := { Digraph.src = v; dst = sink; cap = -s; cost = 0 } :: !extra)
+    sigma;
+  let r, total, augmentations = solve_internal g' !extra ~source ~sink in
+  if total < !supply then None
+  else begin
+    let f = flow_of_residual g' r in
+    let f = Array.sub f 0 (Digraph.m g) in
+    let cost =
+      Array.to_list (Digraph.arcs g)
+      |> List.mapi (fun i a -> float_of_int a.Digraph.cost *. f.(i))
+      |> List.fold_left ( +. ) 0.
+    in
+    Some
+      {
+        f;
+        cost;
+        augmentations;
+        rounds = (augmentations + 1) * Clique.Cost.apsp_rounds n;
+      }
+  end
+
+let solve_max_flow_min_cost g ~s ~t =
+  let r, total, _ = solve_internal g [] ~source:s ~sink:t in
+  let f = flow_of_residual g r in
+  let cost =
+    Array.to_list (Digraph.arcs g)
+    |> List.mapi (fun i a -> float_of_int a.Digraph.cost *. f.(i))
+    |> List.fold_left ( +. ) 0.
+  in
+  (f, total, cost)

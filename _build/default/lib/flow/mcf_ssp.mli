@@ -1,0 +1,23 @@
+(** Successive shortest paths with potentials — the exact min-cost-flow
+    engine.
+
+    Three roles: (a) the test oracle for the CMSV interior point method,
+    (b) the internal solver of the trivial gather-everything baseline, and
+    (c) a distributed baseline in its own right ([#augmentations] SSSP
+    calls, each charged [O(n^{0.158})] rounds). *)
+
+type report = {
+  f : Flow.t;
+  cost : float;
+  augmentations : int;
+  rounds : int;  (** charged: augmentations · ⌈n^{0.158}⌉ *)
+}
+
+val solve : Digraph.t -> sigma:int array -> report option
+(** [solve g ~sigma] finds a minimum-cost flow satisfying the demand vector
+    ([σ(v) > 0] = [v] supplies [σ(v)] units); [None] when infeasible.
+    [σ] must sum to zero. *)
+
+val solve_max_flow_min_cost :
+  Digraph.t -> s:int -> t:int -> Flow.t * int * float
+(** Minimum-cost maximum s-t flow: [(flow, value, cost)]. *)

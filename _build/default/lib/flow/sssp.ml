@@ -1,0 +1,73 @@
+let default_weight g id = float_of_int (Digraph.arc g id).Digraph.cost
+
+let dijkstra g ?weight ?(usable = fun _ -> true) ~sources () =
+  let weight = match weight with Some w -> w | None -> default_weight g in
+  let n = Digraph.n g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let module Pq = Set.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  let pq = ref Pq.empty in
+  List.iter
+    (fun s ->
+      dist.(s) <- 0.;
+      pq := Pq.add (0., s) !pq)
+    sources;
+  while not (Pq.is_empty !pq) do
+    let ((d, v) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if d <= dist.(v) then
+      List.iter
+        (fun id ->
+          if usable id then begin
+            let a = Digraph.arc g id in
+            let w = weight id in
+            if w < 0. then invalid_arg "Sssp.dijkstra: negative weight";
+            let nd = d +. w in
+            if nd < dist.(a.Digraph.dst) -. 1e-15 then begin
+              dist.(a.Digraph.dst) <- nd;
+              parent.(a.Digraph.dst) <- id;
+              pq := Pq.add (nd, a.Digraph.dst) !pq
+            end
+          end)
+        (Digraph.out_arcs g v)
+  done;
+  (dist, parent)
+
+let bellman_ford g ?weight ?(usable = fun _ -> true) ~sources () =
+  let weight = match weight with Some w -> w | None -> default_weight g in
+  let n = Digraph.n g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  List.iter (fun s -> dist.(s) <- 0.) sources;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    Array.iteri
+      (fun id a ->
+        if usable id && dist.(a.Digraph.src) < infinity then begin
+          let nd = dist.(a.Digraph.src) +. weight id in
+          if nd < dist.(a.Digraph.dst) -. 1e-12 then begin
+            dist.(a.Digraph.dst) <- nd;
+            parent.(a.Digraph.dst) <- id;
+            changed := true
+          end
+        end)
+      (Digraph.arcs g)
+  done;
+  if !changed then None else Some (dist, parent)
+
+let path_to ~parent g v =
+  let rec loop v acc =
+    match parent.(v) with
+    | -1 -> acc
+    | id -> loop (Digraph.arc g id).Digraph.src (id :: acc)
+  in
+  loop v []
+
+let charged_rounds ~n = Clique.Cost.apsp_rounds n

@@ -1,0 +1,33 @@
+(** Single-source shortest paths over digraphs with per-arc weights.
+
+    In the congested clique the paper computes (approximate) shortest paths
+    with the CKKL'19 distance-product algorithm in [O(n^{0.158})] rounds; we
+    compute the same distances exactly with classical algorithms and charge
+    {!Clique.Cost.apsp_rounds} per call (DESIGN.md substitution 4). *)
+
+val dijkstra :
+  Digraph.t ->
+  ?weight:(int -> float) ->
+  ?usable:(int -> bool) ->
+  sources:int list ->
+  unit ->
+  float array * int array
+(** [(dist, parent_arc)] from the nearest source; non-negative weights
+    ([weight] defaults to the arc cost; [usable] masks arcs, default all).
+    Unreachable vertices get [infinity] and parent [-1]. *)
+
+val bellman_ford :
+  Digraph.t ->
+  ?weight:(int -> float) ->
+  ?usable:(int -> bool) ->
+  sources:int list ->
+  unit ->
+  (float array * int array) option
+(** Same contract but tolerates negative weights; [None] when a negative
+    cycle is reachable. *)
+
+val path_to : parent:int array -> Digraph.t -> int -> int list
+(** Arc identifiers of the tree path ending at the vertex, source-first. *)
+
+val charged_rounds : n:int -> int
+(** The per-call round charge ([⌈n^{0.158}⌉]). *)

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Digraph Graph Hashtbl Int64 List Prng

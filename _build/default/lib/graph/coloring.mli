@@ -1,0 +1,40 @@
+(** Deterministic Cole–Vishkin coloring of cycles (CV86, GPS87).
+
+    Step 2a of the paper's Eulerian-orientation algorithm (Theorem 1.4)
+     3-colors each cycle in [O(log* n)] communication rounds, derives a
+    maximal matching from the coloring, and marks the higher-ID endpoint of
+    every matched edge. This module implements the color-reduction chain:
+
+    - start from unique [O(log n)]-bit identifiers;
+    - one Cole–Vishkin step maps a [k]-bit coloring to a [2⌈log k⌉+2]-bit
+      coloring using only each vertex's and its successor's colors (one round
+      of communication each);
+    - iterate until 6 colors remain ([O(log* n)] steps), then three
+      shift-and-recolor rounds reduce 6 to 3.
+
+    A cycle cover is given by successor/predecessor arrays over positions
+    [0..k-1]; several disjoint cycles may be packed into one array. *)
+
+val cv_step : int array -> succ:int array -> int array
+(** One Cole–Vishkin reduction step: [cv_step colors ~succ] returns the new
+    coloring where position [i] combines the lowest differing bit index with
+    its own bit value against [colors.(succ.(i))]. Requires adjacent colors
+    distinct; preserves that invariant. *)
+
+val three_color : ids:int array -> succ:int array -> pred:int array -> int array * int
+(** [three_color ~ids ~succ ~pred] returns a proper 3-coloring (values in
+    [{0,1,2}]) of the cycle cover and the number of communication rounds the
+    chain used (CV steps + 3 reduction rounds), the quantity charged by
+    Theorem 1.4's accounting. [ids] must be distinct non-negative ints. *)
+
+val is_proper : int array -> succ:int array -> bool
+
+val maximal_matching_on_cycles :
+  colors:int array -> succ:int array -> pred:int array -> bool array
+(** [maximal_matching_on_cycles ~colors ~succ ~pred] greedily matches cycle
+    edges [(i, succ i)] by processing color classes in increasing order;
+    returns [matched] with [matched.(i) = true] iff edge [(i, succ.(i))] is
+    in the matching. The result is a maximal matching on every cycle. *)
+
+val log_star : int -> int
+(** Iterated logarithm, for the E3 bench's reference curve. *)

@@ -1,0 +1,38 @@
+let maximal g =
+  let used = Array.make (Graph.n g) false in
+  let acc = ref [] in
+  Array.iteri
+    (fun id e ->
+      if (not used.(e.Graph.u)) && not used.(e.Graph.v) then begin
+        used.(e.Graph.u) <- true;
+        used.(e.Graph.v) <- true;
+        acc := id :: !acc
+      end)
+    (Graph.edges g);
+  List.rev !acc
+
+let is_matching g ids =
+  let used = Array.make (Graph.n g) false in
+  let ok = ref true in
+  List.iter
+    (fun id ->
+      let e = Graph.edge g id in
+      if used.(e.Graph.u) || used.(e.Graph.v) then ok := false;
+      used.(e.Graph.u) <- true;
+      used.(e.Graph.v) <- true)
+    ids;
+  !ok
+
+let is_maximal g ids =
+  is_matching g ids
+  &&
+  let used = Array.make (Graph.n g) false in
+  List.iter
+    (fun id ->
+      let e = Graph.edge g id in
+      used.(e.Graph.u) <- true;
+      used.(e.Graph.v) <- true)
+    ids;
+  Array.for_all
+    (fun e -> used.(e.Graph.u) || used.(e.Graph.v))
+    (Graph.edges g)

@@ -1,0 +1,14 @@
+(** Maximal matchings on general graphs (greedy reference implementation).
+
+    The distributed cycle matching lives in {!Coloring}; this module provides
+    the centralized greedy used by tests as an oracle and by the expander
+    pipeline for degree reductions. *)
+
+val maximal : Graph.t -> int list
+(** Edge identifiers of a greedy maximal matching (first-come order). *)
+
+val is_matching : Graph.t -> int list -> bool
+(** No two selected edges share a vertex. *)
+
+val is_maximal : Graph.t -> int list -> bool
+(** Every non-selected edge shares a vertex with a selected one. *)

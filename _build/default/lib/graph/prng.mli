@@ -1,0 +1,23 @@
+(** Deterministic SplitMix64 pseudo-random stream.
+
+    The paper's algorithms are deterministic; the only consumer of this
+    module is the *workload generator* ({!Gen}), so that benchmarks and tests
+    run on reproducible inputs. Algorithm code must never use it. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] starts a stream; equal seeds give equal streams. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]; requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

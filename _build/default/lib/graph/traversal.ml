@@ -1,0 +1,83 @@
+let bfs g s =
+  let dist = Array.make (Graph.n g) (-1) in
+  let q = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun (u, _) ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u q
+        end)
+      (Graph.adj g v)
+  done;
+  dist
+
+let components g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let k = ref 0 in
+  for s = 0 to n - 1 do
+    if label.(s) < 0 then begin
+      let q = Queue.create () in
+      label.(s) <- !k;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        List.iter
+          (fun (u, _) ->
+            if label.(u) < 0 then begin
+              label.(u) <- !k;
+              Queue.add u q
+            end)
+          (Graph.adj g v)
+      done;
+      incr k
+    end
+  done;
+  (label, !k)
+
+let component_members g =
+  let label, k = components g in
+  let buckets = Array.make k [] in
+  for v = Graph.n g - 1 downto 0 do
+    buckets.(label.(v)) <- v :: buckets.(label.(v))
+  done;
+  Array.to_list (Array.map Array.of_list buckets)
+
+let bfs_digraph g ?residual_cap s =
+  let cap =
+    match residual_cap with
+    | Some f -> f
+    | None -> fun id -> (Digraph.arc g id).Digraph.cap
+  in
+  let n = Digraph.n g in
+  let dist = Array.make n (-1) in
+  let parent_arc = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun id ->
+        let a = Digraph.arc g id in
+        if cap id > 0 && dist.(a.Digraph.dst) < 0 then begin
+          dist.(a.Digraph.dst) <- dist.(v) + 1;
+          parent_arc.(a.Digraph.dst) <- id;
+          Queue.add a.Digraph.dst q
+        end)
+      (Digraph.out_arcs g v)
+  done;
+  (dist, parent_arc)
+
+let spanning_forest g =
+  let uf = Unionfind.create (Graph.n g) in
+  let acc = ref [] in
+  Array.iteri
+    (fun id e ->
+      if Unionfind.union uf e.Graph.u e.Graph.v then acc := id :: !acc)
+    (Graph.edges g);
+  List.rev !acc

@@ -1,0 +1,21 @@
+(** Graph traversals and connectivity used throughout the pipeline. *)
+
+val bfs : Graph.t -> int -> int array
+(** [bfs g s] is the array of hop distances from [s]; unreachable vertices
+    get [-1]. *)
+
+val components : Graph.t -> int array * int
+(** [components g] labels every vertex with a component id in
+    [0..k-1] and returns [k]. *)
+
+val component_members : Graph.t -> int array list
+(** Vertex sets of the connected components, each sorted ascending. *)
+
+val bfs_digraph : Digraph.t -> ?residual_cap:(int -> int) -> int -> int array * int array
+(** [bfs_digraph g s] runs BFS over arcs with positive capacity
+    ([residual_cap] maps an arc id to its usable capacity; defaults to the
+    static capacity). Returns [(dist, parent_arc)] where [parent_arc.(v)] is
+    the arc used to reach [v] ([-1] at the source/unreached). *)
+
+val spanning_forest : Graph.t -> int list
+(** Edge identifiers of a BFS spanning forest. *)

@@ -1,0 +1,1 @@
+lib/laplacian/solver.ml: Array Clique Float Graph Linalg Logs Sparsify

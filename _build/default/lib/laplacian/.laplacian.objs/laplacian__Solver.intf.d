@@ -1,0 +1,1 @@
+lib/laplacian/solver.mli: Graph Linalg Sparsify

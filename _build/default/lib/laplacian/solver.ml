@@ -1,0 +1,171 @@
+let log_src = Logs.Src.create "repro.solver" ~doc:"Theorem 1.1 Laplacian solver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type inner_solver = Direct | Iterative
+
+type report = {
+  x : Linalg.Vec.t;
+  iterations : int;
+  kappa : float;
+  sparsifier_edges : int;
+  rounds : int;
+  phase_rounds : (string * int) list;
+  residual : float;
+}
+
+let default_inner n = if n <= 400 then Direct else Iterative
+
+(* Node-internal solver for the sparsifier Laplacian: every node knows H, so
+   this costs zero rounds (Theorem 1.1's proof). *)
+let inner_solve inner h =
+  match inner with
+  | Direct ->
+    let n = Graph.n h in
+    let l = Graph.laplacian_dense h in
+    let reduced = Linalg.Dense.init (n - 1) (fun i j -> l.(i + 1).(j + 1)) in
+    let chol = Linalg.Dense.cholesky ~shift:1e-12 reduced in
+    fun b ->
+      let b = Linalg.Vec.center b in
+      let b' = Array.sub b 1 (n - 1) in
+      let x' = Linalg.Dense.cholesky_solve chol b' in
+      let x = Linalg.Vec.create n in
+      Array.blit x' 0 x 1 (n - 1);
+      Linalg.Vec.center x
+  | Iterative ->
+    fun b ->
+      let x, _ =
+        Linalg.Cg.solve_grounded ~tol:1e-13 (Graph.apply_laplacian h) b
+      in
+      x
+
+let kappa_power_iters = 40
+
+(* Distributed estimation of the pencil extremes of (L_G, L_H): power
+   iteration on B†A (one matvec round per application, B†-solves internal),
+   then on its reflection to reach the bottom of the spectrum. *)
+let estimate_kappa cost g solve_h =
+  let n = Graph.n g in
+  let apply m v = m (Linalg.Vec.center v) in
+  let bta v = solve_h (Graph.apply_laplacian g v) in
+  let start =
+    Linalg.Vec.normalize
+      (Linalg.Vec.center
+         (Linalg.Vec.init n (fun i ->
+              let s = if i land 1 = 0 then 1. else -1. in
+              s *. (1. +. (float_of_int ((i * 48271) land 0x3fff) /. 16384.)))))
+  in
+  let v = ref start in
+  let mu_max = ref 1. in
+  for _ = 1 to kappa_power_iters do
+    let w = apply bta !v in
+    let nw = Linalg.Vec.norm2 w in
+    if nw > 0. then begin
+      let w = Linalg.Vec.scale (1. /. nw) w in
+      (* generalized Rayleigh: (v'Av)/(v'Bv); since w has unit 2-norm use
+         the B†A operator's ordinary Rayleigh quotient, valid because B†A is
+         self-adjoint in the B-inner product and we only need the extreme. *)
+      mu_max := Linalg.Vec.dot w (apply bta w);
+      v := w
+    end
+  done;
+  let c = !mu_max *. 1.05 in
+  let v = ref start in
+  let mu_reflected = ref 0. in
+  for _ = 1 to kappa_power_iters do
+    let w =
+      Linalg.Vec.center
+        (Linalg.Vec.sub (Linalg.Vec.scale c !v) (apply bta !v))
+    in
+    let nw = Linalg.Vec.norm2 w in
+    if nw > 0. then begin
+      let w = Linalg.Vec.scale (1. /. nw) w in
+      mu_reflected :=
+        Linalg.Vec.dot w
+          (Linalg.Vec.sub (Linalg.Vec.scale c w) (apply bta w));
+      v := w
+    end
+  done;
+  let mu_min = Float.max (c -. !mu_reflected) (!mu_max *. 1e-8) in
+  Clique.Cost.charge cost ~phase:"kappa-estimate"
+    (2 * kappa_power_iters * Clique.Cost.matvec_rounds);
+  (!mu_max, mu_min)
+
+let preprocess_weights eps g =
+  (* Theorem 3.3 takes integer weights; round to multiples of ε as the
+     Theorem 1.1 proof prescribes. *)
+  Graph.map_weights
+    (fun e -> eps *. Float.max 1. (Float.round (e.Graph.w /. eps)))
+    g
+
+let solve_with_sparsifier ?(eps = 1e-6) ?inner g sp b =
+  let n = Graph.n g in
+  let inner = match inner with Some i -> i | None -> default_inner n in
+  let cost = Clique.Cost.create () in
+  let h = sp.Sparsify.Spectral.sparsifier in
+  let solve_h = inner_solve inner h in
+  let lmax, lmin = estimate_kappa cost g solve_h in
+  let kappa = 1.2 *. lmax /. lmin in
+  let b = Linalg.Vec.center b in
+  let max_iters =
+    Linalg.Chebyshev.iteration_bound ~kappa ~eps:(eps /. 10.)
+  in
+  let x, st =
+    Linalg.Chebyshev.solve_grounded
+      ~apply_a:(Graph.apply_laplacian g)
+      ~solve_b:(fun v -> Linalg.Vec.scale (1. /. lmax) (solve_h v))
+      ~kappa ~tol:(eps /. 100.) ~max_iters b
+  in
+  Clique.Cost.charge cost ~phase:"chebyshev"
+    (st.Linalg.Chebyshev.iterations * Clique.Cost.matvec_rounds);
+  Log.debug (fun k ->
+      k "solve: n=%d kappa=%.3f iterations=%d residual=%.2e" n kappa
+        st.Linalg.Chebyshev.iterations st.Linalg.Chebyshev.residual);
+  {
+    x;
+    iterations = st.Linalg.Chebyshev.iterations;
+    kappa;
+    sparsifier_edges = Graph.m h;
+    rounds = Clique.Cost.rounds cost;
+    phase_rounds = Clique.Cost.phases cost;
+    residual = st.Linalg.Chebyshev.residual;
+  }
+
+let solve ?(eps = 1e-6) ?(phi = 0.05) ?inner ?backend g b =
+  if not (Graph.is_connected g) then
+    invalid_arg "Solver.solve: graph must be connected (L† needs one component)";
+  let g' = preprocess_weights eps g in
+  let sp = Sparsify.Spectral.sparsify ~phi ?backend g' in
+  let report = solve_with_sparsifier ~eps ?inner g sp b in
+  let phase_rounds =
+    ("sparsify", sp.Sparsify.Spectral.rounds) :: report.phase_rounds
+  in
+  {
+    report with
+    rounds = report.rounds + sp.Sparsify.Spectral.rounds;
+    phase_rounds;
+  }
+
+let solve_cg_baseline ?(eps = 1e-6) g b =
+  let b = Linalg.Vec.center b in
+  let x, st =
+    Linalg.Cg.solve_grounded ~tol:(eps /. 100.) (Graph.apply_laplacian g) b
+  in
+  {
+    x;
+    iterations = st.Linalg.Cg.iterations;
+    kappa = nan;
+    sparsifier_edges = 0;
+    rounds = st.Linalg.Cg.iterations * Clique.Cost.matvec_rounds;
+    phase_rounds = [ ("cg", st.Linalg.Cg.iterations) ];
+    residual =
+      st.Linalg.Cg.residual /. Float.max (Linalg.Vec.norm2 b) 1e-300;
+  }
+
+let error_in_l_norm g x b =
+  let b = Linalg.Vec.center b in
+  let xstar = Linalg.Dense.solve_grounded (Graph.laplacian_dense g) b in
+  let diff = Linalg.Vec.sub x xstar in
+  let num = sqrt (Float.max 0. (Graph.quadratic_form g diff)) in
+  let den = sqrt (Float.max 0. (Graph.quadratic_form g xstar)) in
+  if den = 0. then num else num /. den

@@ -1,0 +1,67 @@
+(** Deterministic congested-clique Laplacian solver — Theorem 1.1.
+
+    Pipeline, exactly as §3 implements it:
+    + round edge weights to multiples of [ε] and rescale (the theorem takes
+      integer weight classes);
+    + build a deterministic spectral sparsifier [H] ({!Sparsify.Spectral});
+      after this phase [H] is known to every node;
+    + estimate the pencil condition number [κ] with distributed power
+      iteration — each iteration is one [L_G]-matvec round, the [L_H†]
+      applications are node-internal;
+    + run preconditioned Chebyshev (Corollary 2.3): [O(√κ·log(1/ε))]
+      iterations of one matvec round plus an internal [L_H]-solve.
+
+    Round accounting: the sparsifier phase charges its Theorem 3.3 cost, and
+    every matvec charges {!Clique.Cost.matvec_rounds}; totals are broken down
+    per phase in the report. *)
+
+type inner_solver =
+  | Direct  (** grounded dense Cholesky of [L_H] — exact, [O(n³)] once *)
+  | Iterative  (** tightly-converged CG on [L_H] — for larger [n] *)
+
+type report = {
+  x : Linalg.Vec.t;  (** the approximate solution *)
+  iterations : int;  (** Chebyshev iterations used *)
+  kappa : float;  (** pencil condition estimate actually used *)
+  sparsifier_edges : int;
+  rounds : int;  (** total charged rounds *)
+  phase_rounds : (string * int) list;
+      (** breakdown: "sparsify", "kappa-estimate", "chebyshev" *)
+  residual : float;  (** final relative ℓ₂ residual ‖b − L_G x‖/‖b‖ *)
+}
+
+val solve :
+  ?eps:float ->
+  ?phi:float ->
+  ?inner:inner_solver ->
+  ?backend:Sparsify.Spectral.backend ->
+  Graph.t ->
+  Linalg.Vec.t ->
+  report
+(** [solve g b] approximately solves [L_G x = b] for connected [g] and
+    [b ⊥ 1] (it is centered defensively). [eps] (default [1e-6]) is the
+    target of Theorem 1.1: [‖x − L†b‖_{L_G} ≤ ε‖L†b‖_{L_G}]. [inner]
+    defaults to [Direct] for [n ≤ 400], [Iterative] above. Raises
+    [Invalid_argument] on a disconnected graph. *)
+
+val solve_with_sparsifier :
+  ?eps:float ->
+  ?inner:inner_solver ->
+  Graph.t ->
+  Sparsify.Spectral.result ->
+  Linalg.Vec.t ->
+  report
+(** Reuse a previously built sparsifier (the flow IPMs re-solve on graphs
+    whose resistances change every iteration but whose support is fixed;
+    when the caller knows the sparsifier is still valid it can skip phase 1).
+    The sparsifier construction rounds are {e not} re-charged. *)
+
+val solve_cg_baseline : ?eps:float -> Graph.t -> Linalg.Vec.t -> report
+(** Baseline for experiment E8: plain distributed conjugate gradients
+    (each iteration = one matvec round, no sparsifier). Reports rounds the
+    same way so the two are directly comparable. *)
+
+val error_in_l_norm : Graph.t -> Linalg.Vec.t -> Linalg.Vec.t -> float
+(** [error_in_l_norm g x b]: the Theorem 1.1 error metric
+    [‖x − L†b‖_L / ‖L†b‖_L], computed against a dense-oracle [L†b] —
+    test/bench instrumentation, not part of the distributed algorithm. *)

@@ -1,0 +1,1 @@
+lib/linalg/chebyshev.ml: Array Float Vec

@@ -1,0 +1,36 @@
+type stats = { iterations : int; residual : float; converged : bool }
+
+let solve ?max_iters ?(tol = 1e-10) ?x0 apply b =
+  let n = Vec.dim b in
+  let max_iters = match max_iters with Some k -> k | None -> 10 * n in
+  let x = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
+  let r = Vec.sub b (apply x) in
+  let p = Vec.copy r in
+  let rs = ref (Vec.dot r r) in
+  let nb = Vec.norm2 b in
+  let target = tol *. Float.max nb 1e-300 in
+  let iters = ref 0 in
+  (try
+     while !iters < max_iters && sqrt !rs > target do
+       let ap = apply p in
+       let pap = Vec.dot p ap in
+       if pap <= 0. then raise Exit;
+       let alpha = !rs /. pap in
+       Vec.axpy_inplace alpha p x;
+       Vec.axpy_inplace (-.alpha) ap r;
+       let rs' = Vec.dot r r in
+       let beta = rs' /. !rs in
+       for i = 0 to n - 1 do
+         p.(i) <- r.(i) +. (beta *. p.(i))
+       done;
+       rs := rs';
+       incr iters
+     done
+   with Exit -> ());
+  let residual = sqrt !rs in
+  (x, { iterations = !iters; residual; converged = residual <= target })
+
+let solve_grounded ?max_iters ?tol apply b =
+  let b = Vec.center b in
+  let x, st = solve ?max_iters ?tol apply b in
+  (Vec.center x, st)

@@ -1,0 +1,30 @@
+(** Conjugate gradients on symmetric positive semi-definite operators.
+
+    Used in two places: (a) as the *baseline* Laplacian solver that the
+    benchmarks compare the paper's preconditioned-Chebyshev solver against
+    (experiment E8), and (b) as the inner exact-ish solver for moderately
+    large sparsifier Laplacians where a dense Cholesky would be wasteful. *)
+
+type stats = {
+  iterations : int;
+  residual : float;  (** final ‖b − A x‖₂ *)
+  converged : bool;
+}
+
+val solve :
+  ?max_iters:int ->
+  ?tol:float ->
+  ?x0:Vec.t ->
+  (Vec.t -> Vec.t) ->
+  Vec.t ->
+  Vec.t * stats
+(** [solve apply b] runs CG on the operator [apply] with right-hand side [b]
+    until the relative residual drops below [tol] (default [1e-10]) or
+    [max_iters] (default [10 * dim]) iterations elapse. For singular Laplacian
+    operators the caller must supply [b] orthogonal to the kernel; the iterate
+    then stays in the range. *)
+
+val solve_grounded :
+  ?max_iters:int -> ?tol:float -> (Vec.t -> Vec.t) -> Vec.t -> Vec.t * stats
+(** Like {!solve} but first centers [b] (projects out the all-ones kernel of a
+    connected Laplacian) and re-centers the solution. *)

@@ -1,0 +1,53 @@
+type stats = { iterations : int; residual : float; converged : bool }
+
+let iteration_bound ~kappa ~eps =
+  let eps = Float.max eps 1e-300 in
+  int_of_float (Float.ceil (sqrt (Float.max kappa 1.) *. log (2. /. eps))) + 1
+
+(* Chebyshev semi-iteration for the preconditioned system B†A x = B†b whose
+   spectrum (on the range) lies in [1/κ, 1]. Cf. Saad, "Iterative Methods for
+   Sparse Linear Systems", Alg. 12.1. *)
+let solve ?max_iters ?(tol = 1e-10) ~apply_a ~solve_b ~kappa b =
+  let n = Vec.dim b in
+  let max_iters =
+    match max_iters with
+    | Some k -> k
+    | None -> iteration_bound ~kappa ~eps:tol
+  in
+  let lmin = 1. /. Float.max kappa 1. in
+  let lmax = 1. in
+  let theta = (lmax +. lmin) /. 2. in
+  let delta = (lmax -. lmin) /. 2. in
+  let sigma1 = theta /. delta in
+  let x = Vec.create n in
+  let r = Vec.copy b in
+  let nb = Float.max (Vec.norm2 b) 1e-300 in
+  let z = solve_b r in
+  let d = Vec.scale (1. /. theta) z in
+  let rho_prev = ref (1. /. sigma1) in
+  let iters = ref 0 in
+  let residual = ref (Vec.norm2 r /. nb) in
+  (try
+     while !iters < max_iters do
+       Vec.axpy_inplace 1. d x;
+       let ad = apply_a d in
+       Vec.axpy_inplace (-1.) ad r;
+       residual := Vec.norm2 r /. nb;
+       incr iters;
+       if !residual <= tol then raise Exit;
+       let z = solve_b r in
+       let rho = 1. /. ((2. *. sigma1) -. !rho_prev) in
+       let c1 = rho *. !rho_prev in
+       let c2 = 2. *. rho /. delta in
+       for i = 0 to n - 1 do
+         d.(i) <- (c1 *. d.(i)) +. (c2 *. z.(i))
+       done;
+       rho_prev := rho
+     done
+   with Exit -> ());
+  (x, { iterations = !iters; residual = !residual; converged = !residual <= tol })
+
+let solve_grounded ?max_iters ?tol ~apply_a ~solve_b ~kappa b =
+  let b = Vec.center b in
+  let x, st = solve ?max_iters ?tol ~apply_a ~solve_b ~kappa b in
+  (Vec.center x, st)

@@ -1,0 +1,48 @@
+(** Preconditioned Chebyshev iteration — Theorem 2.2 of the paper
+    (Peng's formulation of the classical method, cf. Saad, Axelsson).
+
+    Given symmetric PSD operators [A], [B] with [A ≼ B ≼ κ·A], the iteration
+    applies a linear operator [Z ≈ A†] to the right-hand side using
+    [O(√κ · log(1/ε))] iterations, each consisting of one product with [A],
+    one solve with [B], and O(1) vector operations — which is exactly the
+    per-iteration round cost the congested-clique solver charges
+    (Corollary 2.3): the matvec is one communication round, the [B]-solve is
+    internal because every node knows the sparsifier. *)
+
+type stats = {
+  iterations : int;
+  residual : float;  (** final ‖b − A x‖₂ / ‖b‖₂ *)
+  converged : bool;
+}
+
+val iteration_bound : kappa:float -> eps:float -> int
+(** The a-priori iteration count [⌈√κ · ln(2/ε)⌉ + 1] of Theorem 2.2,
+    used by the round-accounting layer and the E2 bench. *)
+
+val solve :
+  ?max_iters:int ->
+  ?tol:float ->
+  apply_a:(Vec.t -> Vec.t) ->
+  solve_b:(Vec.t -> Vec.t) ->
+  kappa:float ->
+  Vec.t ->
+  Vec.t * stats
+(** [solve ~apply_a ~solve_b ~kappa b] approximates [A† b]. [solve_b] must
+    apply [B†] (the preconditioner solve). [kappa] is the relative condition
+    number bound [A ≼ B ≼ κA]. Stops when the relative residual is ≤ [tol]
+    (default [1e-10]) or after [max_iters] (default {!iteration_bound} with
+    [eps = tol]) iterations.
+
+    For singular (Laplacian) operators, pass [b] in the range; intermediate
+    vectors are kept centered by the caller's [solve_b]. *)
+
+val solve_grounded :
+  ?max_iters:int ->
+  ?tol:float ->
+  apply_a:(Vec.t -> Vec.t) ->
+  solve_b:(Vec.t -> Vec.t) ->
+  kappa:float ->
+  Vec.t ->
+  Vec.t * stats
+(** Like {!solve} but centers [b] first and re-centers the result — the right
+    entry point for connected-graph Laplacian systems. *)

@@ -1,0 +1,99 @@
+type t = float array
+
+let create n = Array.make n 0.
+
+let init = Array.init
+
+let copy = Array.copy
+
+let dim = Array.length
+
+let of_list = Array.of_list
+
+let basis n i =
+  let v = create n in
+  v.(i) <- 1.;
+  v
+
+let constant n c = Array.make n c
+
+let check_dims name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length x) (Array.length y))
+
+let add x y =
+  check_dims "add" x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_dims "sub" x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let scale a x = Array.map (fun xi -> a *. xi) x
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  Array.init (Array.length x) (fun i -> (a *. x.(i)) +. y.(i))
+
+let axpy_inplace a x y =
+  check_dims "axpy_inplace" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot x y =
+  check_dims "dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun m xi -> Float.max m (Float.abs xi)) 0. x
+
+let dist2 x y =
+  check_dims "dist2" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let sum x = Array.fold_left ( +. ) 0. x
+
+let mean x =
+  if Array.length x = 0 then 0. else sum x /. float_of_int (Array.length x)
+
+let center x =
+  let m = mean x in
+  Array.map (fun xi -> xi -. m) x
+
+let normalize x =
+  let n = norm2 x in
+  if n = 0. then x else scale (1. /. n) x
+
+let map2 f x y =
+  check_dims "map2" x y;
+  Array.init (Array.length x) (fun i -> f x.(i) y.(i))
+
+let equal ?(eps = 1e-9) x y =
+  Array.length x = Array.length y
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length x - 1 do
+    if Float.abs (x.(i) -. y.(i)) > eps then ok := false
+  done;
+  !ok
+
+let pp fmt x =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i xi ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" xi)
+    x;
+  Format.fprintf fmt "|]"

@@ -1,0 +1,63 @@
+(** Dense float vectors.
+
+    A vector is a [float array]; these helpers keep the numerical code in the
+    rest of the library free of index bookkeeping. All binary operations
+    require equal lengths and raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is the zero vector of dimension [n]. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val of_list : float list -> t
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th standard basis vector of dimension [n]. *)
+
+val constant : int -> float -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> t
+(** [axpy a x y] is [a*x + y], allocating a fresh vector. *)
+
+val axpy_inplace : float -> t -> t -> unit
+(** [axpy_inplace a x y] updates [y <- a*x + y]. *)
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+
+val dist2 : t -> t -> float
+(** [dist2 x y] is [norm2 (sub x y)] without the intermediate allocation. *)
+
+val sum : t -> float
+
+val mean : t -> float
+
+val center : t -> t
+(** [center x] subtracts the mean from every entry; the result is orthogonal
+    to the all-ones vector, i.e. lies in the range of a connected Laplacian. *)
+
+val normalize : t -> t
+(** [normalize x] is [x / ||x||]; returns [x] unchanged if the norm is 0. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Entrywise comparison up to absolute tolerance [eps] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

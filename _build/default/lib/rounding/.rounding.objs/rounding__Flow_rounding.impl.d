@@ -1,0 +1,1 @@
+lib/rounding/flow_rounding.ml: Array Clique Digraph Euler Float Graph List Printf

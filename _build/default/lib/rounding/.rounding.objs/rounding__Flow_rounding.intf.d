@@ -1,0 +1,1 @@
+lib/rounding/flow_rounding.mli: Digraph

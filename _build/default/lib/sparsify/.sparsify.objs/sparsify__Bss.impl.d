@@ -1,0 +1,1 @@
+lib/sparsify/bss.ml: Array Float Graph Linalg

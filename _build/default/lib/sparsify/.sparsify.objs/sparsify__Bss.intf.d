@@ -1,0 +1,1 @@
+lib/sparsify/bss.mli: Graph

@@ -1,0 +1,1 @@
+lib/sparsify/product_demand.ml: Array Clique Float Graph Hashtbl List

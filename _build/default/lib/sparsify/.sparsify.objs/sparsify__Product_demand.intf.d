@@ -1,0 +1,1 @@
+lib/sparsify/product_demand.mli: Graph

@@ -1,0 +1,1 @@
+lib/sparsify/quality.ml: Array Float Graph Linalg

@@ -1,0 +1,1 @@
+lib/sparsify/quality.mli: Graph

@@ -1,0 +1,1 @@
+lib/sparsify/sampling.ml: Array Float Graph Linalg Prng

@@ -1,0 +1,1 @@
+lib/sparsify/sampling.mli: Graph

@@ -1,0 +1,1 @@
+lib/sparsify/spectral.ml: Array Bss Clique Expander Float Graph Hashtbl List Product_demand

@@ -1,0 +1,1 @@
+lib/sparsify/spectral.mli: Graph

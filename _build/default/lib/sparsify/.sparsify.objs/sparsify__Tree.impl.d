@@ -1,0 +1,1 @@
+lib/sparsify/tree.ml: Array Fun Graph Hashtbl List Queue Unionfind

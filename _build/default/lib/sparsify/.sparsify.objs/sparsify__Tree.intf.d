@@ -1,0 +1,1 @@
+lib/sparsify/tree.mli: Graph

@@ -1,0 +1,17 @@
+(** Deterministic Batson–Spielman–Srivastava spectral sparsification
+    ("twice-Ramanujan sparsifiers").
+
+    The high-quality (and expensive, [O(d·n·m·n²)]) deterministic sparsifier
+    backend: barrier-potential selection of [≈ d·(n−1)] reweighted edges.
+    Used (a) as the E8 ablation against the degree-bucket construction and
+    (b) as an optional internal sparsifier for small product-demand cliques.
+    The implementation follows the barrier mechanics — upper/lower potentials
+    [Φ^u, Φ_l], per-step shifts [δ_U, δ_L], and the [U_A(v) ≤ L_A(v)] edge
+    selection rule — with the resulting approximation factor *measured* by
+    {!Quality} rather than taken on faith (DESIGN.md §4). *)
+
+val sparsify : ?d:int -> Graph.t -> Graph.t
+(** [sparsify ~d g] returns a reweighted subgraph with at most [d·(n−1)]
+    edges. [d] defaults to 8. [g] must be connected with [n ≥ 2]; raises
+    [Invalid_argument] otherwise. If [g] already has ≤ [d·(n−1)] edges it is
+    returned unchanged. *)

@@ -1,0 +1,141 @@
+let weighted_degrees g =
+  Array.init (Graph.n g) (fun v -> Graph.weighted_degree g v)
+
+let scale_of g =
+  let total = Graph.total_weight g in
+  if total <= 0. then 0. else 2. /. total
+
+let complete g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Product_demand.complete: need n >= 2";
+  let d = weighted_degrees g in
+  let s = scale_of g in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let w = s *. d.(u) *. d.(v) in
+      if w > 0. then acc := { Graph.u; v; w } :: !acc
+    done
+  done;
+  Graph.create n !acc
+
+let default_degree n = 3 + Clique.Cost.log2_ceil (max n 2)
+
+let edge_count_bound ~n ~degree =
+  let classes = Clique.Cost.log2_ceil (max n 2) + 2 in
+  (n * degree) + (classes * classes * degree)
+
+(* Offsets 1, 2, 4, ... — the same deterministic circulant family as
+   Gen.expander. *)
+let circulant_offsets limit count =
+  let rec loop o k acc =
+    if k = 0 || o > limit then List.rev acc else loop (o * 2) (k - 1) (o :: acc)
+  in
+  if limit < 1 then [] else loop 1 count [ 1 ] |> List.sort_uniq compare
+
+let sparse ?degree g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Product_demand.sparse: need n >= 2";
+  let t = match degree with Some d -> max 1 d | None -> default_degree n in
+  let d = weighted_degrees g in
+  let s = scale_of g in
+  (* Binary degree classes over vertices with positive degree. *)
+  let buckets = Hashtbl.create 8 in
+  for v = 0 to n - 1 do
+    if d.(v) > 0. then begin
+      let c = int_of_float (Float.floor (Float.log2 d.(v))) in
+      let cur = try Hashtbl.find buckets c with Not_found -> [] in
+      Hashtbl.replace buckets c (v :: cur)
+    end
+  done;
+  let classes =
+    Hashtbl.fold (fun c vs acc -> (c, Array.of_list (List.rev vs)) :: acc)
+      buckets []
+    |> List.sort compare
+    |> List.map snd
+    |> Array.of_list
+  in
+  let acc = ref [] in
+  let add_edges pairs mass =
+    (* Distribute [mass] over [pairs] proportionally to d_u·d_v. *)
+    let z =
+      List.fold_left (fun z (u, v) -> z +. (d.(u) *. d.(v))) 0. pairs
+    in
+    if z > 0. && mass > 0. then
+      List.iter
+        (fun (u, v) ->
+          let w = mass *. d.(u) *. d.(v) /. z in
+          if w > 0. then acc := { Graph.u; v; w } :: !acc)
+        pairs
+  in
+  let k = Array.length classes in
+  for i = 0 to k - 1 do
+    let bi = classes.(i) in
+    let si = Array.fold_left (fun z v -> z +. d.(v)) 0. bi in
+    (* Intra-class circulant expander. *)
+    let a = Array.length bi in
+    if a >= 2 then begin
+      let sq = Array.fold_left (fun z v -> z +. (d.(v) *. d.(v))) 0. bi in
+      let mass = s *. ((si *. si) -. sq) /. 2. in
+      let offsets = circulant_offsets (a / 2) t in
+      let pairs = ref [] in
+      List.iter
+        (fun o ->
+          for p = 0 to a - 1 do
+            let q = (p + o) mod a in
+            if q <> p then pairs := (bi.(min p q), bi.(max p q)) :: !pairs
+          done)
+        offsets;
+      (* Deduplicate (each undirected pair appears from both endpoints, and
+         wrap-around can revisit a pair when 2o = a). *)
+      let tbl = Hashtbl.create 16 in
+      let uniq =
+        List.filter
+          (fun (u, v) ->
+            let key = (min u v, max u v) in
+            if Hashtbl.mem tbl key then false
+            else begin
+              Hashtbl.replace tbl key ();
+              true
+            end)
+          !pairs
+      in
+      add_edges uniq mass
+    end;
+    (* Inter-class bipartite circulants. *)
+    for j = i + 1 to k - 1 do
+      let bj = classes.(j) in
+      let sj = Array.fold_left (fun z v -> z +. d.(v)) 0. bj in
+      let mass = s *. si *. sj in
+      let a = Array.length bi and b = Array.length bj in
+      let reach = min t b in
+      let pairs = ref [] in
+      for p = 0 to a - 1 do
+        for off = 0 to reach - 1 do
+          pairs := (bi.(p), bj.((p + off) mod b)) :: !pairs
+        done
+      done;
+      (* When the left class is tiny, some right vertices would be missed;
+         sweep the other direction too. *)
+      let covered = Hashtbl.create 16 in
+      List.iter (fun (_, v) -> Hashtbl.replace covered v ()) !pairs;
+      Array.iteri
+        (fun q v ->
+          if not (Hashtbl.mem covered v) then
+            pairs := (bi.(q mod a), v) :: !pairs)
+        bj;
+      let tbl = Hashtbl.create 16 in
+      let uniq =
+        List.filter
+          (fun (u, v) ->
+            if Hashtbl.mem tbl (u, v) then false
+            else begin
+              Hashtbl.replace tbl (u, v) ();
+              true
+            end)
+          !pairs
+      in
+      add_edges uniq mass
+    done
+  done;
+  Graph.create n !acc

@@ -1,0 +1,28 @@
+(** Product demand graphs and their deterministic internal sparsification.
+
+    Theorem 3.3's proof replaces each expander cluster [G'] by (a sparsifier
+    of) the *product demand graph* [H(deg_{G'})]: the complete graph on
+    [V(G')] with weights [deg(u)·deg(v)], scaled by [2/|E(G')|] — a
+    [4/φ²]-approximation of [G'] when [Φ(G') ≥ φ] (CGLNPS'20).
+
+    The KLPS'16 near-linear internal sparsifier is substituted (DESIGN.md
+    substitution 3) by a deterministic degree-bucket expander construction:
+    sort vertices into binary degree classes; between every pair of classes
+    place an explicit circulant expander carrying that class pair's share of
+    the total demand. The approximation factor is measured by
+    {!Quality.approximation_factor} in tests and in experiment E1. *)
+
+val complete : Graph.t -> Graph.t
+(** [complete g'] is the scaled product demand graph [2/|E| · H(deg_{g'})]
+    (a complete graph; only for analysis and tests on small clusters).
+    Isolated vertices are left isolated. Requires [Graph.n g' ≥ 2]. *)
+
+val sparse : ?degree:int -> Graph.t -> Graph.t
+(** [sparse g'] is the deterministic sparse stand-in for [complete g']:
+    [O(n·degree + (#degree classes)²·degree)] edges with the same total
+    weight between and within degree classes. [degree] defaults to
+    [3 + ⌈log₂ n⌉]. *)
+
+val edge_count_bound : n:int -> degree:int -> int
+(** Upper bound on [Graph.m (sparse g')] used by the size accounting of
+    Theorem 3.3. *)

@@ -1,0 +1,21 @@
+(** Measuring spectral approximation quality (Definition 2.1).
+
+    The substituted sparsifier constructions (DESIGN.md §4) come with
+    *measured* rather than proven approximation factors; this module computes
+    them: the smallest [α ≥ 1] with [(1/α)·L_H ≼ L_G ≼ α·L_H]. *)
+
+val approximation_factor : Graph.t -> Graph.t -> float
+(** [approximation_factor g h] for connected [g], [h] on the same vertex set
+    (both Laplacians restricted to the range, i.e. vertex 0 grounded).
+    Computed via the extreme generalized eigenvalues of the pencil
+    [(L_G, L_H)] by power iteration on [R_H^{-T} A_G R_H^{-1}] — [O(n³)],
+    intended for test/bench sizes. Returns [infinity] when either grounded
+    matrix fails to factor (disconnected input). *)
+
+val relative_condition : Graph.t -> Graph.t -> float
+(** [relative_condition g h] is [κ] with [L_G ≼ α·L_H ≼ κ·L_G] for the best
+    scaling — i.e. [λmax/λmin] of the pencil. This is the [κ] fed to
+    preconditioned Chebyshev (after scaling [B := α·L_H], Corollary 2.3). *)
+
+val pencil_bounds : Graph.t -> Graph.t -> float * float
+(** [(λmin, λmax)] of the pencil [(L_G, L_H)] on the grounded space. *)

@@ -1,0 +1,61 @@
+let max_weight_spanning_tree g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Tree.max_weight_spanning_tree: graph must be connected";
+  let ids = List.init (Graph.m g) Fun.id in
+  let key id =
+    let e = Graph.edge g id in
+    (-.e.Graph.w, id)
+  in
+  let sorted = List.sort (fun a b -> compare (key a) (key b)) ids in
+  let uf = Unionfind.create (Graph.n g) in
+  let kept =
+    List.filter
+      (fun id ->
+        let e = Graph.edge g id in
+        Unionfind.union uf e.Graph.u e.Graph.v)
+      sorted
+  in
+  Graph.sub_edges g kept
+
+(* Path resistance in the tree between u and v: sum of 1/w along the unique
+   path, found by BFS parent tracing. *)
+let tree_path_resistance t u v =
+  let n = Graph.n t in
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let q = Queue.create () in
+  let seen = Array.make n false in
+  seen.(u) <- true;
+  Queue.add u q;
+  while not (Queue.is_empty q) do
+    let x = Queue.pop q in
+    List.iter
+      (fun (y, id) ->
+        if not seen.(y) then begin
+          seen.(y) <- true;
+          parent.(y) <- x;
+          parent_edge.(y) <- id;
+          Queue.add y q
+        end)
+      (Graph.adj t x)
+  done;
+  let rec walk v acc =
+    if v = u then acc
+    else
+      walk parent.(v) (acc +. (1. /. (Graph.edge t parent_edge.(v)).Graph.w))
+  in
+  walk v 0.
+
+let stretch_bound g t =
+  let tree_ids = Hashtbl.create (Graph.m t) in
+  Array.iter
+    (fun e ->
+      Hashtbl.replace tree_ids (min e.Graph.u e.Graph.v, max e.Graph.u e.Graph.v) ())
+    (Graph.edges t);
+  Array.fold_left
+    (fun acc e ->
+      let key = (min e.Graph.u e.Graph.v, max e.Graph.u e.Graph.v) in
+      if Hashtbl.mem tree_ids key then acc
+      else acc +. (e.Graph.w *. tree_path_resistance t e.Graph.u e.Graph.v))
+    (float_of_int (Graph.m t))
+    (Graph.edges g)

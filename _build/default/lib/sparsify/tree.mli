@@ -1,0 +1,16 @@
+(** Spanning-tree preconditioners — the classical (Vaidya-style) alternative
+    the Laplacian paradigm superseded, kept as an E8 ablation backend.
+
+    A maximum-weight spanning tree is a valid preconditioner ([L_T ≼ L_G]
+    since [T ⊆ G]), but its pencil condition grows with the tree's stretch —
+    measuring it against the Theorem 3.3 sparsifier's κ on the same inputs
+    shows exactly why the paper builds sparsifiers instead. *)
+
+val max_weight_spanning_tree : Graph.t -> Graph.t
+(** Kruskal on descending weight (ties by edge id). Requires a connected
+    input; the result keeps the original weights. *)
+
+val stretch_bound : Graph.t -> Graph.t -> float
+(** [stretch_bound g t]: Σ_e w_e · R_T(e) over non-tree edges — the classical
+    condition-number upper bound for the tree preconditioner (computed via
+    tree path resistances; [O(n·m)]). *)

@@ -1,0 +1,1 @@
+test/test_clique.ml: Alcotest Array Clique Float Gen Graph Int64 List Maxflow_ipm Printf QCheck QCheck_alcotest Test Traversal

@@ -1,0 +1,1 @@
+test/test_euler.ml: Alcotest Array Euler Gen Graph Int64 List Printf QCheck QCheck_alcotest Test

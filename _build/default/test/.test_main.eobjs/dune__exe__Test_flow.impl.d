@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Clique Decompose Digraph Dinic Electrical Float Flow Ford_fulkerson Gen Graph Int64 Linalg List Maxflow_ipm Printf QCheck QCheck_alcotest Rounding Sssp Test Trivial

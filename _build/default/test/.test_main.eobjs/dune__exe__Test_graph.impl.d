@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Coloring Digraph Expander Gen Graph Hashtbl Int64 Linalg List Matching Mcf_ssp Printf QCheck QCheck_alcotest Test Traversal Unionfind

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Clique Core Decompose Digraph Dinic Electrical Float Flow Gen Graph Laplacian Linalg List Maxflow_ipm Mcf_ipm Mcf_ssp Printf Rounding Sparsify String

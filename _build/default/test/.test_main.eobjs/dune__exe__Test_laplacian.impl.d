@@ -1,0 +1,1 @@
+test/test_laplacian.ml: Alcotest Array Gen Graph Int64 Laplacian Linalg List Printf QCheck QCheck_alcotest Sparsify Test

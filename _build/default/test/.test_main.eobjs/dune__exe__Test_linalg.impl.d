@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Gen Graph Int64 Linalg List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_mcf.ml: Alcotest Array Clique Cmsv_bipartite Digraph Float Flow Gen Int64 List Mcf_ipm Mcf_ssp QCheck QCheck_alcotest Test

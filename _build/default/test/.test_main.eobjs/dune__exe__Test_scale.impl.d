@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Clique Digraph Dinic Euler Gen Graph Laplacian Linalg List Maxflow_ipm Mcf_ipm Mcf_ssp Printf Sparsify

@@ -1,0 +1,1 @@
+test/test_sparsify.ml: Alcotest Array Float Gen Graph Int64 Linalg List Printf QCheck QCheck_alcotest Sparsify Test

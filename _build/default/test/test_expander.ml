@@ -1,0 +1,230 @@
+(* Tests for conductance, Fiedler approximation, expander decomposition. *)
+
+module Graph_gen = Gen
+
+let test_conductance_complete () =
+  (* K4: any cut S of size 1 has cut 3, vol 3 → φ = 1. Size-2 cuts: cut 4,
+     vol 6 → 2/3. Exact conductance = 2/3. *)
+  let g = Graph_gen.complete 4 in
+  Alcotest.(check (float 1e-9)) "K4 conductance" (2. /. 3.)
+    (Expander.Conductance.exact g)
+
+let test_conductance_path () =
+  (* Path on 4: cutting the middle edge: cut 1, vol min = 3 → 1/3;
+     cutting an end edge: 1/1 = 1... vol of single endpoint = 1, cut 1 → 1.
+     middle cut vol(S)=deg0+deg1=1+2=3 → 1/3. Exact = 1/3. *)
+  let g = Graph_gen.path 4 in
+  Alcotest.(check (float 1e-9)) "P4 conductance" (1. /. 3.)
+    (Expander.Conductance.exact g)
+
+let test_conductance_of_cut_barbell () =
+  let g = Graph_gen.barbell 6 in
+  let inside = Array.init 12 (fun v -> v < 6) in
+  let phi = Expander.Conductance.of_cut g inside in
+  (* bridge weight 1; vol side = 6·5 + 1 = 31 *)
+  Alcotest.(check (float 1e-9)) "bridge cut" (1. /. 31.) phi
+
+let test_fiedler_lambda2_path_vs_exact () =
+  let g = Graph_gen.path 8 in
+  let exact = Expander.Fiedler.lambda2_exact g in
+  let approx, _ = Expander.Fiedler.approx ~iters:2000 g in
+  Alcotest.(check bool) "approx close to exact" true
+    (Float.abs (exact -. approx) < 0.05 *. Float.max exact 0.05)
+
+let test_fiedler_lambda2_complete () =
+  (* Normalized Laplacian of K_n has λ₂ = n/(n−1). *)
+  let g = Graph_gen.complete 8 in
+  let exact = Expander.Fiedler.lambda2_exact g in
+  Alcotest.(check (float 1e-6)) "K8 normalized λ₂" (8. /. 7.) exact
+
+let test_fiedler_sweep_finds_barbell_cut () =
+  let g = Graph_gen.barbell 8 in
+  let _, x = Expander.Fiedler.approx g in
+  let inside, phi = Expander.Conductance.sweep_cut g x in
+  (* The sweep should find (nearly) the bridge cut. *)
+  Alcotest.(check bool) "sparse cut found" true (phi < 0.05);
+  let size = Array.fold_left (fun a b -> if b then a + 1 else a) 0 inside in
+  Alcotest.(check bool) "balanced-ish" true (size >= 2 && size <= 14)
+
+let test_decomposition_expander_stays_whole () =
+  (* A good expander should come back as (nearly) one cluster. *)
+  let g = Graph_gen.expander 64 8 in
+  let d = Expander.Decomposition.decompose ~phi:0.05 g in
+  Alcotest.(check bool) "valid" true (Expander.Decomposition.check g d);
+  Alcotest.(check bool) "few clusters" true
+    (List.length d.Expander.Decomposition.clusters <= 4);
+  Alcotest.(check bool) "few crossing edges" true
+    (Expander.Decomposition.crossing_fraction g d <= 0.5)
+
+let test_decomposition_barbell_splits () =
+  let g = Graph_gen.barbell 10 in
+  let d = Expander.Decomposition.decompose ~phi:0.05 g in
+  Alcotest.(check bool) "valid" true (Expander.Decomposition.check g d);
+  Alcotest.(check bool) "at least two clusters" true
+    (List.length d.Expander.Decomposition.clusters >= 2);
+  (* Only the bridge should cross. *)
+  Alcotest.(check bool) "few crossing" true
+    (List.length d.Expander.Decomposition.crossing <= 3)
+
+let test_decomposition_planted_partition () =
+  let g = Graph_gen.planted_partition ~seed:21L 40 0.5 0.02 in
+  let d = Expander.Decomposition.decompose ~phi:0.05 g in
+  Alcotest.(check bool) "valid" true (Expander.Decomposition.check g d);
+  (* Crossing fraction stays well below the dense intra-community part. *)
+  Alcotest.(check bool) "crossing fraction < 1/4" true
+    (Expander.Decomposition.crossing_fraction g d < 0.25)
+
+let test_decomposition_clusters_certified () =
+  (* Every accepted cluster of size ≥ 3 should have measured conductance
+     within a constant factor of the target (Cheeger slack is √). *)
+  let g = Graph_gen.connected_gnp ~seed:33L 60 0.12 in
+  let phi = 0.05 in
+  let d = Expander.Decomposition.decompose ~phi g in
+  Alcotest.(check bool) "valid" true (Expander.Decomposition.check g d);
+  List.iter
+    (fun vs ->
+      if Array.length vs >= 3 && Array.length vs <= 16 then begin
+        let sub, _ = Graph.induced g vs in
+        if Graph.m sub > 0 && Graph.is_connected sub then begin
+          let measured = Expander.Conductance.exact sub in
+          if measured < phi then
+            Alcotest.failf "cluster of size %d has conductance %f < %f"
+              (Array.length vs) measured phi
+        end
+      end)
+    d.Expander.Decomposition.clusters
+
+let test_decomposition_disconnected () =
+  let g =
+    Graph.create 6
+      [
+        { Graph.u = 0; v = 1; w = 1. };
+        { Graph.u = 1; v = 2; w = 1. };
+        { Graph.u = 3; v = 4; w = 1. };
+      ]
+  in
+  let d = Expander.Decomposition.decompose g in
+  Alcotest.(check bool) "valid" true (Expander.Decomposition.check g d);
+  Alcotest.(check int) "no crossing edges" 0
+    (List.length d.Expander.Decomposition.crossing)
+
+let test_rounds_formula_monotone () =
+  let r1 = Expander.Decomposition.rounds_formula ~n:100 ~gamma:0.25 in
+  let r2 = Expander.Decomposition.rounds_formula ~n:10000 ~gamma:0.25 in
+  Alcotest.(check bool) "monotone" true (r2 > r1);
+  (* Sub-linear in n. *)
+  Alcotest.(check bool) "sublinear" true (r2 < 10000)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"decomposition always partitions" ~count:30 small_nat
+      (fun seed ->
+        let g =
+          Graph_gen.connected_gnp ~seed:(Int64.of_int (seed + 3)) 24 0.15
+        in
+        let d = Expander.Decomposition.decompose g in
+        Expander.Decomposition.check g d);
+    Test.make ~name:"sweep conductance >= exact" ~count:20 small_nat
+      (fun seed ->
+        let g =
+          Graph_gen.connected_gnp ~seed:(Int64.of_int (seed + 11)) 10 0.4
+        in
+        let _, x = Expander.Fiedler.approx g in
+        let _, phi_sweep = Expander.Conductance.sweep_cut g x in
+        let phi_exact = Expander.Conductance.exact g in
+        phi_sweep >= phi_exact -. 1e-9);
+    Test.make ~name:"cheeger: sweep <= sqrt(2 λ2)" ~count:20 small_nat
+      (fun seed ->
+        let g =
+          Graph_gen.connected_gnp ~seed:(Int64.of_int (seed + 17)) 12 0.3
+        in
+        let lambda2 = Expander.Fiedler.lambda2_exact g in
+        let _, x = Expander.Fiedler.approx ~iters:2000 g in
+        let _, phi_sweep = Expander.Conductance.sweep_cut g x in
+        (* Cheeger rounding guarantee with slack for approximation error. *)
+        phi_sweep <= sqrt (2. *. lambda2) +. 0.1);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "conductance K4" `Quick test_conductance_complete;
+    Alcotest.test_case "conductance P4" `Quick test_conductance_path;
+    Alcotest.test_case "conductance barbell cut" `Quick
+      test_conductance_of_cut_barbell;
+    Alcotest.test_case "fiedler approx vs exact" `Quick
+      test_fiedler_lambda2_path_vs_exact;
+    Alcotest.test_case "fiedler K8 exact" `Quick test_fiedler_lambda2_complete;
+    Alcotest.test_case "sweep finds barbell cut" `Quick
+      test_fiedler_sweep_finds_barbell_cut;
+    Alcotest.test_case "decomposition: expander whole" `Slow
+      test_decomposition_expander_stays_whole;
+    Alcotest.test_case "decomposition: barbell splits" `Quick
+      test_decomposition_barbell_splits;
+    Alcotest.test_case "decomposition: planted partition" `Quick
+      test_decomposition_planted_partition;
+    Alcotest.test_case "decomposition: clusters certified" `Quick
+      test_decomposition_clusters_certified;
+    Alcotest.test_case "decomposition: disconnected" `Quick
+      test_decomposition_disconnected;
+    Alcotest.test_case "rounds formula" `Quick test_rounds_formula_monotone;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+
+(* --------------------------------------------------- additional coverage *)
+
+let test_decomposition_phi_extremes () =
+  let g = Graph_gen.connected_gnp ~seed:91L 40 0.3 in
+  (* A tiny φ accepts almost anything: few clusters. *)
+  let loose = Expander.Decomposition.decompose ~phi:1e-6 g in
+  (* A large φ must cut a lot: many clusters. *)
+  let tight = Expander.Decomposition.decompose ~phi:0.45 g in
+  Alcotest.(check bool) "loose coarser than tight" true
+    (List.length loose.Expander.Decomposition.clusters
+    <= List.length tight.Expander.Decomposition.clusters);
+  Alcotest.(check bool) "both valid" true
+    (Expander.Decomposition.check g loose && Expander.Decomposition.check g tight)
+
+let test_fiedler_barbell_gap () =
+  (* λ₂ of a barbell is tiny (low conductance). *)
+  let g = Graph_gen.barbell 10 in
+  let lambda2 = Expander.Fiedler.lambda2_exact g in
+  Alcotest.(check bool)
+    (Printf.sprintf "λ₂=%g small" lambda2)
+    true (lambda2 < 0.05);
+  let expander_g = Graph_gen.expander 20 8 in
+  let lambda2' = Expander.Fiedler.lambda2_exact expander_g in
+  Alcotest.(check bool)
+    (Printf.sprintf "expander λ₂=%g large" lambda2')
+    true (lambda2' > 0.2)
+
+let test_sweep_cut_weighted () =
+  (* A heavy cluster pair connected by a light edge: sweep finds it even
+     with weights. *)
+  let edges =
+    [
+      { Graph.u = 0; v = 1; w = 10. };
+      { Graph.u = 1; v = 2; w = 10. };
+      { Graph.u = 0; v = 2; w = 10. };
+      { Graph.u = 3; v = 4; w = 10. };
+      { Graph.u = 4; v = 5; w = 10. };
+      { Graph.u = 3; v = 5; w = 10. };
+      { Graph.u = 2; v = 3; w = 0.1 };
+    ]
+  in
+  let g = Graph.create 6 edges in
+  let _, x = Expander.Fiedler.approx g in
+  let inside, phi = Expander.Conductance.sweep_cut g x in
+  Alcotest.(check bool) "finds the light bridge" true (phi < 0.01);
+  let size = Array.fold_left (fun a b -> if b then a + 1 else a) 0 inside in
+  Alcotest.(check int) "balanced halves" 3 size
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "decomposition phi extremes" `Quick
+        test_decomposition_phi_extremes;
+      Alcotest.test_case "fiedler barbell vs expander gap" `Quick
+        test_fiedler_barbell_gap;
+      Alcotest.test_case "weighted sweep cut" `Quick test_sweep_cut_weighted;
+    ]

@@ -1,0 +1,212 @@
+(* End-to-end integration tests across the whole stack: every pipeline run
+   with non-default backends, chained pipelines, and cross-checked round
+   accounting. *)
+
+module Graph_gen = Gen
+
+let arc src dst cap cost = { Digraph.src; dst; cap; cost }
+
+(* Theorem 1.2 with the full Theorem 1.1 solver in the inner loop — the
+   maximum-fidelity configuration (slow, so small instance). *)
+let test_maxflow_with_theorem11_backend () =
+  let g = Graph_gen.layered_network ~seed:2L 2 3 4 in
+  let t = Digraph.n g - 1 in
+  let r =
+    Maxflow_ipm.max_flow ~solver:(Electrical.Theorem_1_1 1e-8) g ~s:0 ~t
+  in
+  Alcotest.(check int) "exact" (Dinic.max_flow_value g ~s:0 ~t)
+    r.Maxflow_ipm.value;
+  (* The charged rounds must now include sparsifier construction every
+     solve, so the ipm phase dominates massively. *)
+  Alcotest.(check bool) "ipm phase dominates" true
+    (List.assoc "ipm" r.Maxflow_ipm.phase_rounds > r.Maxflow_ipm.rounds / 2)
+
+let test_maxflow_with_exact_backend () =
+  let g = Graph_gen.random_network ~seed:3L 10 24 5 in
+  let r = Maxflow_ipm.max_flow ~solver:Electrical.Exact g ~s:0 ~t:9 in
+  Alcotest.(check int) "exact" (Dinic.max_flow_value g ~s:0 ~t:9)
+    r.Maxflow_ipm.value
+
+let test_mcf_with_exact_backend () =
+  let g, sigma = Graph_gen.random_mcf ~seed:4L 9 20 6 in
+  match
+    (Mcf_ipm.solve ~solver:Electrical.Exact g ~sigma, Mcf_ssp.solve g ~sigma)
+  with
+  | Some r, Some oracle ->
+    Alcotest.(check (float 1e-6)) "cost" oracle.Mcf_ssp.cost r.Mcf_ipm.cost
+  | None, None -> ()
+  | _ -> Alcotest.fail "feasibility disagreement"
+
+(* Chained sparsification: the sparsifier of a sparsifier still
+   preconditions the original graph. *)
+let test_sparsifier_chain () =
+  let g = Graph_gen.connected_gnp ~seed:5L 70 0.5 in
+  let h1 = (Sparsify.Spectral.sparsify g).Sparsify.Spectral.sparsifier in
+  let h2 = (Sparsify.Spectral.sparsify h1).Sparsify.Spectral.sparsifier in
+  let kappa = Sparsify.Quality.relative_condition g h2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "chained kappa=%f finite" kappa)
+    true
+    (Float.is_finite kappa);
+  let n = Graph.n g in
+  let b = Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1)) in
+  let lh = Graph.laplacian_dense h2 in
+  let x, st =
+    Linalg.Chebyshev.solve_grounded
+      ~apply_a:(Graph.apply_laplacian g)
+      ~solve_b:(fun v -> Linalg.Dense.solve_grounded lh (Linalg.Vec.center v))
+      ~kappa:(1.2 *. kappa) ~tol:1e-8 b
+  in
+  ignore x;
+  Alcotest.(check bool) "chained preconditioner converges" true
+    st.Linalg.Chebyshev.converged
+
+(* Electrical flow backends agree. *)
+let test_electrical_backends_agree () =
+  let g = Graph_gen.connected_gnp ~seed:6L 25 0.3 in
+  let b = Linalg.Vec.sub (Linalg.Vec.basis 25 3) (Linalg.Vec.basis 25 19) in
+  let resistance _ = 1.5 in
+  let exact =
+    Electrical.compute ~solver:Electrical.Exact ~support:g ~resistance ~b ()
+  in
+  let cg =
+    Electrical.compute ~solver:(Electrical.Cg 1e-12) ~support:g ~resistance ~b ()
+  in
+  let thm =
+    Electrical.compute ~solver:(Electrical.Theorem_1_1 1e-9) ~support:g
+      ~resistance ~b ()
+  in
+  Alcotest.(check bool) "cg = exact" true
+    (Linalg.Vec.equal ~eps:1e-6 exact.Electrical.flow cg.Electrical.flow);
+  Alcotest.(check bool) "thm11 = exact" true
+    (Linalg.Vec.equal ~eps:1e-4 exact.Electrical.flow thm.Electrical.flow)
+
+(* The solver's x actually solves downstream tasks: potentials-based s-t cut
+   heuristic separates a barbell. *)
+let test_solver_potentials_separate_barbell () =
+  let g = Graph_gen.barbell 10 in
+  let n = Graph.n g in
+  let b = Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1)) in
+  let x, _ = (fun r -> (r.Laplacian.Solver.x, r)) (Laplacian.Solver.solve ~eps:1e-8 g b) in
+  (* Potentials inside the first clique must all exceed those in the second. *)
+  let min_left = ref infinity and max_right = ref neg_infinity in
+  for v = 0 to 9 do
+    min_left := Float.min !min_left x.(v)
+  done;
+  for v = 10 to 19 do
+    max_right := Float.max !max_right x.(v)
+  done;
+  Alcotest.(check bool) "potential gap across the bridge" true
+    (!min_left > !max_right)
+
+(* Cost-aware rounding end-to-end inside the MCF pipeline: build a fractional
+   flow by hand on a graph where the wrong cycle direction is expensive. *)
+let test_rounding_cost_rule_e2e () =
+  let g =
+    Digraph.create 6
+      [
+        arc 0 1 1 0; arc 1 5 1 0;
+        (* cheap cycle pair *)
+        arc 0 2 1 1; arc 2 5 1 1;
+        (* expensive cycle pair *)
+        arc 0 3 1 9; arc 3 5 1 9;
+        (* middle *)
+        arc 0 4 1 4; arc 4 5 1 4;
+      ]
+  in
+  let f = Array.make 8 0.5 in
+  let cost id = float_of_int (Digraph.arc g id).Digraph.cost in
+  let r = Rounding.Flow_rounding.round ~cost g ~s:0 ~t:5 ~delta:0.5 f in
+  let rf = r.Rounding.Flow_rounding.f in
+  Alcotest.(check bool) "feasible" true (Flow.is_feasible g ~s:0 ~t:5 ~f:rf);
+  Alcotest.(check bool) "value kept" true (Flow.value g ~s:0 ~f:rf >= 2. -. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "cost %.1f <= fractional %.1f" (Flow.cost g rf)
+       (Flow.cost g f))
+    true
+    (Flow.cost g rf <= Flow.cost g f +. 1e-9)
+
+(* Orientation at scale inside rounding. *)
+let test_rounding_large_network () =
+  let g = Graph_gen.layered_network ~seed:7L 8 6 4 in
+  let t = Digraph.n g - 1 in
+  let f, v = Dinic.max_flow g ~s:0 ~t in
+  let frac = Array.map (fun x -> 0.75 *. x) f in
+  let items = Decompose.decompose g ~s:0 ~t frac in
+  let q = Decompose.accumulate g (Decompose.quantize_paths ~delta:0.25 items) in
+  let r = Rounding.Flow_rounding.round g ~s:0 ~t ~delta:0.25 q in
+  Alcotest.(check bool) "integral" true
+    (Flow.is_integral r.Rounding.Flow_rounding.f);
+  Alcotest.(check bool) "feasible" true
+    (Flow.is_feasible g ~s:0 ~t ~f:r.Rounding.Flow_rounding.f);
+  Alcotest.(check bool) "value near optimum" true
+    (Flow.value g ~s:0 ~f:r.Rounding.Flow_rounding.f >= 0.7 *. float_of_int v)
+
+(* Core umbrella consistency. *)
+let test_core_umbrella () =
+  Alcotest.(check bool) "version" true (String.length Core.version > 0);
+  let g = Core.Gen.connected_gnp ~seed:8L 30 0.3 in
+  let b = Core.Vec.sub (Core.Vec.basis 30 0) (Core.Vec.basis 30 29) in
+  let x, report = Core.solve_laplacian ~eps:1e-6 g b in
+  Alcotest.(check bool) "solves" true
+    (Core.Solver.error_in_l_norm g x b <= 1e-6);
+  let total =
+    List.fold_left (fun a (_, r) -> a + r) 0 report.Core.Solver.phase_rounds
+  in
+  Alcotest.(check int) "phase sum" report.Core.Solver.rounds total;
+  let reff = Core.effective_resistance g 0 29 in
+  Alcotest.(check bool) "effective resistance positive" true (reff > 0.);
+  (* Consistent with the solver's potentials. *)
+  Alcotest.(check bool) "consistent with solve" true
+    (Float.abs (reff -. (x.(0) -. x.(29))) < 1e-3)
+
+let test_core_min_cost_max_flow () =
+  let g = Graph_gen.unit_bipartite ~seed:9L 4 0.6 in
+  let s = 0 and t = Digraph.n g - 1 in
+  match Core.min_cost_max_flow g ~s ~t with
+  | None -> Alcotest.fail "feasible"
+  | Some (r, _) ->
+    let _, v_oracle, _ = Mcf_ssp.solve_max_flow_min_cost g ~s ~t in
+    Alcotest.(check int) "max value" v_oracle
+      (int_of_float (Float.round (Flow.value g ~s ~f:r.Mcf_ipm.f)))
+
+(* MST of a sparsifier still spans. *)
+let test_mst_of_sparsifier () =
+  let g = Graph_gen.connected_gnp ~seed:10L 50 0.4 in
+  let h = (Core.spectral_sparsifier g).Sparsify.Spectral.sparsifier in
+  let mst = Core.minimum_spanning_tree h in
+  Alcotest.(check int) "spans" 49 (List.length mst.Clique.Boruvka.edges)
+
+(* Determinism: the whole Theorem 1.2 pipeline is bit-for-bit repeatable. *)
+let test_pipeline_determinism () =
+  let g = Graph_gen.layered_network ~seed:11L 3 3 5 in
+  let t = Digraph.n g - 1 in
+  let r1 = Maxflow_ipm.max_flow g ~s:0 ~t in
+  let r2 = Maxflow_ipm.max_flow g ~s:0 ~t in
+  Alcotest.(check bool) "same flow vector" true
+    (r1.Maxflow_ipm.f = r2.Maxflow_ipm.f);
+  Alcotest.(check int) "same rounds" r1.Maxflow_ipm.rounds r2.Maxflow_ipm.rounds
+
+let suite =
+  [
+    Alcotest.test_case "maxflow with Theorem 1.1 backend" `Slow
+      test_maxflow_with_theorem11_backend;
+    Alcotest.test_case "maxflow with exact backend" `Quick
+      test_maxflow_with_exact_backend;
+    Alcotest.test_case "mcf with exact backend" `Quick
+      test_mcf_with_exact_backend;
+    Alcotest.test_case "sparsifier chain" `Quick test_sparsifier_chain;
+    Alcotest.test_case "electrical backends agree" `Quick
+      test_electrical_backends_agree;
+    Alcotest.test_case "solver potentials separate barbell" `Quick
+      test_solver_potentials_separate_barbell;
+    Alcotest.test_case "rounding cost rule e2e" `Quick
+      test_rounding_cost_rule_e2e;
+    Alcotest.test_case "rounding large network" `Quick
+      test_rounding_large_network;
+    Alcotest.test_case "core umbrella" `Quick test_core_umbrella;
+    Alcotest.test_case "core min-cost max-flow" `Quick
+      test_core_min_cost_max_flow;
+    Alcotest.test_case "mst of sparsifier" `Quick test_mst_of_sparsifier;
+    Alcotest.test_case "pipeline determinism" `Quick test_pipeline_determinism;
+  ]

@@ -1,0 +1,143 @@
+(* Tests for the Theorem 1.1 solver: error metric, iteration scaling, round
+   accounting, baselines. *)
+
+module Graph_gen = Gen
+
+let demand n =
+  Linalg.Vec.center (Linalg.Vec.init n (fun i -> float_of_int ((i * 17) mod 13)))
+
+let test_solver_meets_error_bound () =
+  let n = 50 in
+  let g = Graph_gen.connected_gnp ~seed:100L n 0.3 in
+  let b = demand n in
+  List.iter
+    (fun eps ->
+      let r = Laplacian.Solver.solve ~eps g b in
+      let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
+      if err > eps then
+        Alcotest.failf "L-norm error %g exceeds eps %g" err eps)
+    [ 1e-2; 1e-4; 1e-6 ]
+
+let test_solver_weighted_graph () =
+  let n = 40 in
+  let g = Graph_gen.weighted_gnp ~seed:101L n 0.3 32 in
+  let b = demand n in
+  let r = Laplacian.Solver.solve ~eps:1e-5 g b in
+  let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
+  Alcotest.(check bool)
+    (Printf.sprintf "err=%g" err)
+    true (err <= 1e-5)
+
+let test_solver_iterations_grow_with_precision () =
+  let n = 45 in
+  let g = Graph_gen.connected_gnp ~seed:102L n 0.25 in
+  let b = demand n in
+  let r1 = Laplacian.Solver.solve ~eps:1e-2 g b in
+  let r2 = Laplacian.Solver.solve ~eps:1e-8 g b in
+  Alcotest.(check bool) "more precision, more iterations" true
+    (r2.Laplacian.Solver.iterations >= r1.Laplacian.Solver.iterations)
+
+let test_solver_rounds_breakdown () =
+  let n = 40 in
+  let g = Graph_gen.connected_gnp ~seed:103L n 0.3 in
+  let b = demand n in
+  let r = Laplacian.Solver.solve g b in
+  let phases = List.map fst r.Laplacian.Solver.phase_rounds in
+  List.iter
+    (fun p ->
+      if not (List.mem p phases) then Alcotest.failf "missing phase %s" p)
+    [ "sparsify"; "kappa-estimate"; "chebyshev" ];
+  let total =
+    List.fold_left (fun a (_, r) -> a + r) 0 r.Laplacian.Solver.phase_rounds
+  in
+  Alcotest.(check int) "phases sum to total" r.Laplacian.Solver.rounds total
+
+let test_solver_reuse_sparsifier () =
+  let n = 40 in
+  let g = Graph_gen.connected_gnp ~seed:104L n 0.3 in
+  let sp = Sparsify.Spectral.sparsify g in
+  let b = demand n in
+  let r = Laplacian.Solver.solve_with_sparsifier g sp b in
+  let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
+  Alcotest.(check bool) "reused sparsifier solves" true (err < 1e-4);
+  (* No sparsify phase charged. *)
+  Alcotest.(check bool) "no sparsify charge" true
+    (not (List.mem_assoc "sparsify" r.Laplacian.Solver.phase_rounds))
+
+let test_cg_baseline_solves () =
+  let n = 40 in
+  let g = Graph_gen.connected_gnp ~seed:105L n 0.3 in
+  let b = demand n in
+  let r = Laplacian.Solver.solve_cg_baseline ~eps:1e-6 g b in
+  let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
+  Alcotest.(check bool) "baseline error" true (err < 1e-5);
+  Alcotest.(check bool) "rounds = iterations" true
+    (r.Laplacian.Solver.rounds = r.Laplacian.Solver.iterations)
+
+let test_solver_iterative_inner () =
+  let n = 60 in
+  let g = Graph_gen.connected_gnp ~seed:106L n 0.2 in
+  let b = demand n in
+  let r = Laplacian.Solver.solve ~inner:Laplacian.Solver.Iterative g b in
+  let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
+  Alcotest.(check bool) "iterative inner solves" true (err < 1e-4)
+
+let test_solver_on_structured_graphs () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let b = demand n in
+      let r = Laplacian.Solver.solve ~eps:1e-4 g b in
+      let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
+      if err > 1e-4 then Alcotest.failf "%s: error %g" name err)
+    [
+      ("grid 6x8", Graph_gen.grid 6 8);
+      ("cycle 50", Graph_gen.cycle 50);
+      ("expander 48", Graph_gen.expander 48 8);
+      ("barbell 15", Graph_gen.barbell 15);
+      ("star 40", Graph_gen.star 40);
+    ]
+
+let test_solver_path_effective_resistance () =
+  (* On a path, L†(e_s − e_t) gives potentials with difference = distance. *)
+  let n = 10 in
+  let g = Graph_gen.path n in
+  let b = Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1)) in
+  let r = Laplacian.Solver.solve ~eps:1e-8 g b in
+  let x = r.Laplacian.Solver.x in
+  Alcotest.(check (float 1e-4)) "effective resistance of P10"
+    (float_of_int (n - 1))
+    (x.(0) -. x.(n - 1))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"solver meets bound on random graphs" ~count:8 small_nat
+      (fun seed ->
+        let g =
+          Graph_gen.connected_gnp ~seed:(Int64.of_int (seed + 61)) 30 0.3
+        in
+        let b = demand 30 in
+        let r = Laplacian.Solver.solve ~eps:1e-4 g b in
+        Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b <= 1e-4);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "meets Theorem 1.1 error bound" `Quick
+      test_solver_meets_error_bound;
+    Alcotest.test_case "weighted graphs" `Quick test_solver_weighted_graph;
+    Alcotest.test_case "iterations grow with precision" `Quick
+      test_solver_iterations_grow_with_precision;
+    Alcotest.test_case "round breakdown consistent" `Quick
+      test_solver_rounds_breakdown;
+    Alcotest.test_case "sparsifier reuse" `Quick test_solver_reuse_sparsifier;
+    Alcotest.test_case "cg baseline" `Quick test_cg_baseline_solves;
+    Alcotest.test_case "iterative inner solver" `Quick
+      test_solver_iterative_inner;
+    Alcotest.test_case "structured graphs" `Quick
+      test_solver_on_structured_graphs;
+    Alcotest.test_case "path effective resistance" `Quick
+      test_solver_path_effective_resistance;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("linalg", Test_linalg.suite);
+      ("graph", Test_graph.suite);
+      ("clique", Test_clique.suite);
+      ("expander", Test_expander.suite);
+      ("sparsify", Test_sparsify.suite);
+      ("laplacian", Test_laplacian.suite);
+      ("euler", Test_euler.suite);
+      ("flow", Test_flow.suite);
+      ("mcf", Test_mcf.suite);
+      ("integration", Test_integration.suite);
+      ("scale", Test_scale.suite);
+    ]

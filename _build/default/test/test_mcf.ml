@@ -1,0 +1,249 @@
+(* Tests for min-cost flow: the SSP oracle and the Theorem 1.3 pipeline. *)
+
+module Graph_gen = Gen
+
+let arc src dst cap cost = { Digraph.src; dst; cap; cost }
+
+(* Simple unit-capacity instance: route 1 unit from 0 to 3; cheap path
+   0→2→3 (cost 2) vs expensive 0→1→3 (cost 20). *)
+let two_paths () =
+  ( Digraph.create 4
+      [ arc 0 1 1 10; arc 1 3 1 10; arc 0 2 1 1; arc 2 3 1 1 ],
+    [| 1; 0; 0; -1 |] )
+
+let test_ssp_two_paths () =
+  let g, sigma = two_paths () in
+  match Mcf_ssp.solve g ~sigma with
+  | None -> Alcotest.fail "feasible instance reported infeasible"
+  | Some r ->
+    Alcotest.(check (float 1e-9)) "optimal cost" 2. r.Mcf_ssp.cost;
+    Alcotest.(check (float 1e-9)) "no demand violation" 0.
+      (Flow.demand_violation g ~sigma ~f:r.Mcf_ssp.f)
+
+let test_ssp_infeasible () =
+  let g = Digraph.create 3 [ arc 0 1 1 1 ] in
+  Alcotest.(check bool) "infeasible" true
+    (Mcf_ssp.solve g ~sigma:[| 1; 0; -1 |] = None)
+
+let test_ssp_max_flow_min_cost () =
+  let g, _ = two_paths () in
+  let _, v, c = Mcf_ssp.solve_max_flow_min_cost g ~s:0 ~t:3 in
+  Alcotest.(check int) "value 2" 2 v;
+  Alcotest.(check (float 1e-9)) "cost 22" 22. c
+
+let test_ssp_matches_bruteforce_choice () =
+  (* Parallel unit arcs of different costs: picking k cheapest. *)
+  let g =
+    Digraph.create 2 [ arc 0 1 1 5; arc 0 1 1 1; arc 0 1 1 3 ]
+  in
+  match Mcf_ssp.solve g ~sigma:[| 2; -2 |] with
+  | None -> Alcotest.fail "feasible"
+  | Some r -> Alcotest.(check (float 1e-9)) "1+3" 4. r.Mcf_ssp.cost
+
+let check_ipm g sigma =
+  match (Mcf_ipm.solve g ~sigma, Mcf_ssp.solve g ~sigma) with
+  | None, None -> None
+  | Some _, None -> Alcotest.fail "ipm found flow on infeasible instance"
+  | None, Some _ -> Alcotest.fail "ipm missed a feasible instance"
+  | Some r, Some oracle ->
+    Alcotest.(check (float 1e-6))
+      "optimal cost matches SSP oracle" oracle.Mcf_ssp.cost r.Mcf_ipm.cost;
+    Alcotest.(check bool) "integral" true (Flow.is_integral r.Mcf_ipm.f);
+    Alcotest.(check (float 1e-9)) "demands met" 0.
+      (Flow.demand_violation g ~sigma ~f:r.Mcf_ipm.f);
+    Alcotest.(check (float 1e-9)) "caps respected" 0.
+      (Flow.capacity_violation g ~f:r.Mcf_ipm.f);
+    Some r
+
+let test_ipm_two_paths () =
+  let g, sigma = two_paths () in
+  ignore (check_ipm g sigma)
+
+let test_ipm_parallel_arcs () =
+  let g =
+    Digraph.create 2 [ arc 0 1 1 5; arc 0 1 1 1; arc 0 1 1 3 ]
+  in
+  ignore (check_ipm g [| 2; -2 |])
+
+let test_ipm_infeasible () =
+  let g = Digraph.create 3 [ arc 0 1 1 1 ] in
+  Alcotest.(check bool) "infeasible detected" true
+    (Mcf_ipm.solve g ~sigma:[| 1; 0; -1 |] = None)
+
+let test_ipm_zero_demand () =
+  (* Zero demand: optimal flow is 0 (all costs positive). *)
+  let g, _ = two_paths () in
+  match check_ipm g [| 0; 0; 0; 0 |] with
+  | None -> Alcotest.fail "zero demand is feasible"
+  | Some r -> Alcotest.(check (float 1e-9)) "zero cost" 0. r.Mcf_ipm.cost
+
+let test_ipm_random_family () =
+  List.iter
+    (fun seed ->
+      let g, sigma = Graph_gen.random_mcf ~seed:(Int64.of_int seed) 10 25 10 in
+      ignore (check_ipm g sigma))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_ipm_bipartite_assignment () =
+  (* Unit bipartite matching with costs: classic CMSV motivation. *)
+  let k = 4 in
+  let n = (2 * k) + 2 in
+  let s = 0 and t = n - 1 in
+  let left i = 1 + i and right j = 1 + k + j in
+  let arcs = ref [] in
+  for i = 0 to k - 1 do
+    arcs := arc s (left i) 1 0 :: arc (right i) t 1 0 :: !arcs;
+    for j = 0 to k - 1 do
+      arcs := arc (left i) (right j) 1 (1 + ((i + (2 * j)) mod 7)) :: !arcs
+    done
+  done;
+  let g = Digraph.create n !arcs in
+  let sigma = Array.make n 0 in
+  sigma.(s) <- k;
+  sigma.(t) <- -k;
+  ignore (check_ipm g sigma)
+
+let test_ipm_phase_accounting () =
+  let g, sigma = two_paths () in
+  match Mcf_ipm.solve g ~sigma with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+    let total =
+      List.fold_left (fun a (_, x) -> a + x) 0 r.Mcf_ipm.phase_rounds
+    in
+    Alcotest.(check int) "phases sum" r.Mcf_ipm.rounds total;
+    Alcotest.(check bool) "ipm phase present" true
+      (List.mem_assoc "ipm" r.Mcf_ipm.phase_rounds)
+
+let test_ipm_rejects_non_unit () =
+  let g = Digraph.create 2 [ arc 0 1 3 1 ] in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Mcf_ipm.solve g ~sigma:[| 1; -1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"ipm cost = ssp cost (random instances)" ~count:8
+      small_nat
+      (fun seed ->
+        let g, sigma =
+          Graph_gen.random_mcf ~seed:(Int64.of_int (seed + 29)) 8 18 8
+        in
+        match (Mcf_ipm.solve g ~sigma, Mcf_ssp.solve g ~sigma) with
+        | None, None -> true
+        | Some r, Some oracle ->
+          Float.abs (r.Mcf_ipm.cost -. oracle.Mcf_ssp.cost) < 1e-6
+          && Flow.demand_violation g ~sigma ~f:r.Mcf_ipm.f < 1e-9
+        | _ -> false);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "ssp two paths" `Quick test_ssp_two_paths;
+    Alcotest.test_case "ssp infeasible" `Quick test_ssp_infeasible;
+    Alcotest.test_case "ssp max flow min cost" `Quick
+      test_ssp_max_flow_min_cost;
+    Alcotest.test_case "ssp picks cheapest arcs" `Quick
+      test_ssp_matches_bruteforce_choice;
+    Alcotest.test_case "ipm two paths" `Quick test_ipm_two_paths;
+    Alcotest.test_case "ipm parallel arcs" `Quick test_ipm_parallel_arcs;
+    Alcotest.test_case "ipm infeasible" `Quick test_ipm_infeasible;
+    Alcotest.test_case "ipm zero demand" `Quick test_ipm_zero_demand;
+    Alcotest.test_case "ipm random family" `Quick test_ipm_random_family;
+    Alcotest.test_case "ipm bipartite assignment" `Quick
+      test_ipm_bipartite_assignment;
+    Alcotest.test_case "ipm phase accounting" `Quick test_ipm_phase_accounting;
+    Alcotest.test_case "ipm rejects non-unit caps" `Quick
+      test_ipm_rejects_non_unit;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+
+(* ---------------------------------------------- min-cost max flow (§2.4) *)
+
+let test_mcmf_matches_ssp () =
+  let g = Graph_gen.unit_bipartite ~seed:41L 5 0.5 in
+  let s = 0 and t = Digraph.n g - 1 in
+  match Mcf_ipm.solve_max_flow_min_cost g ~s ~t with
+  | None -> Alcotest.fail "always feasible at value 0"
+  | Some (r, probes) ->
+    let _, v_oracle, c_oracle = Mcf_ssp.solve_max_flow_min_cost g ~s ~t in
+    let v =
+      int_of_float (Float.round (Flow.value g ~s ~f:r.Mcf_ipm.f))
+    in
+    Alcotest.(check int) "max value" v_oracle v;
+    Alcotest.(check (float 1e-6)) "min cost at max value" c_oracle
+      r.Mcf_ipm.cost;
+    Alcotest.(check bool) "binary search logarithmic" true
+      (probes <= 2 + Clique.Cost.log2_ceil (v_oracle + 2) * 2)
+
+let test_mcmf_with_costs () =
+  let g =
+    Digraph.create 4
+      [ arc 0 1 1 7; arc 1 3 1 7; arc 0 2 1 1; arc 2 3 1 2 ]
+  in
+  match Mcf_ipm.solve_max_flow_min_cost g ~s:0 ~t:3 with
+  | None -> Alcotest.fail "feasible"
+  | Some (r, _) ->
+    (* Max flow is 2 (both paths); min cost = 7+7+1+2 = 17. *)
+    Alcotest.(check (float 1e-6)) "cost" 17. r.Mcf_ipm.cost
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "min-cost max-flow = ssp" `Quick test_mcmf_matches_ssp;
+      Alcotest.test_case "min-cost max-flow with costs" `Quick
+        test_mcmf_with_costs;
+    ]
+
+(* ----------------------------- verbatim CMSV bipartite engine (Appendix C) *)
+
+let check_cmsv g sigma =
+  match (Cmsv_bipartite.solve g ~sigma, Mcf_ssp.solve g ~sigma) with
+  | None, None -> ()
+  | Some r, Some oracle ->
+    Alcotest.(check (float 1e-6)) "cmsv cost = oracle"
+      oracle.Mcf_ssp.cost r.Cmsv_bipartite.cost;
+    Alcotest.(check (float 1e-9)) "demands met" 0.
+      (Flow.demand_violation g ~sigma ~f:r.Cmsv_bipartite.f);
+    Alcotest.(check bool) "integral" true (Flow.is_integral r.Cmsv_bipartite.f)
+  | Some _, None -> Alcotest.fail "cmsv feasible, oracle infeasible"
+  | None, Some _ -> Alcotest.fail "cmsv infeasible, oracle feasible"
+
+let test_cmsv_two_paths () =
+  let g, sigma = two_paths () in
+  check_cmsv g sigma
+
+let test_cmsv_random_family () =
+  List.iter
+    (fun seed ->
+      let g, sigma = Graph_gen.random_mcf ~seed:(Int64.of_int seed) 9 22 9 in
+      check_cmsv g sigma)
+    [ 1; 2; 3 ]
+
+let test_cmsv_infeasible () =
+  let g = Digraph.create 3 [ arc 0 1 1 1 ] in
+  Alcotest.(check bool) "infeasible detected" true
+    (Cmsv_bipartite.solve g ~sigma:[| 1; 0; -1 |] = None)
+
+let test_cmsv_agrees_with_direct_engine () =
+  let g, sigma = Graph_gen.random_mcf ~seed:77L 10 26 7 in
+  match (Cmsv_bipartite.solve g ~sigma, Mcf_ipm.solve g ~sigma) with
+  | Some a, Some b ->
+    Alcotest.(check (float 1e-6)) "engines agree" b.Mcf_ipm.cost
+      a.Cmsv_bipartite.cost
+  | None, None -> ()
+  | _ -> Alcotest.fail "engines disagree on feasibility"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "cmsv verbatim: two paths" `Quick test_cmsv_two_paths;
+      Alcotest.test_case "cmsv verbatim: random family" `Quick
+        test_cmsv_random_family;
+      Alcotest.test_case "cmsv verbatim: infeasible" `Quick test_cmsv_infeasible;
+      Alcotest.test_case "cmsv verbatim = direct engine" `Quick
+        test_cmsv_agrees_with_direct_engine;
+    ]

@@ -1,0 +1,64 @@
+(* Scale stress tests: the full pipelines on the largest instances the suite
+   exercises (marked slow; they still run in the default profile). *)
+
+module Graph_gen = Gen
+
+let test_solver_n200 () =
+  let n = 200 in
+  let g = Graph_gen.connected_gnp ~seed:201L n 0.08 in
+  let b = Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1)) in
+  let r = Laplacian.Solver.solve ~eps:1e-6 g b in
+  let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
+  Alcotest.(check bool) (Printf.sprintf "err=%g" err) true (err <= 1e-6)
+
+let test_orientation_n8192 () =
+  let g = Graph_gen.cycle_union ~seed:202L 8192 64 in
+  let r = Euler.Orientation.orient g in
+  Alcotest.(check bool) "balanced" true
+    (Euler.Orientation.check g r.Euler.Orientation.orientation);
+  Alcotest.(check bool) "rounds logarithmic" true
+    (r.Euler.Orientation.rounds
+    <= Euler.Orientation.rounds_reference ~n:8192)
+
+let test_maxflow_m200 () =
+  let g = Graph_gen.layered_network ~seed:203L 8 6 6 in
+  let t = Digraph.n g - 1 in
+  let r = Maxflow_ipm.max_flow g ~s:0 ~t in
+  Alcotest.(check int) "exact at scale" (Dinic.max_flow_value g ~s:0 ~t)
+    r.Maxflow_ipm.value
+
+let test_mcf_m120 () =
+  let g, sigma = Graph_gen.random_mcf ~seed:204L 20 100 12 in
+  match (Mcf_ipm.solve g ~sigma, Mcf_ssp.solve g ~sigma) with
+  | Some r, Some oracle ->
+    Alcotest.(check (float 1e-6)) "exact at scale" oracle.Mcf_ssp.cost
+      r.Mcf_ipm.cost
+  | None, None -> ()
+  | _ -> Alcotest.fail "feasibility disagreement"
+
+let test_mst_n500 () =
+  let g = Graph_gen.connected_gnp ~seed:205L 500 0.02 in
+  let r = Clique.Boruvka.minimum_spanning_tree g in
+  Alcotest.(check int) "spans" 499 (List.length r.Clique.Boruvka.edges);
+  Alcotest.(check bool) "few phases" true (r.Clique.Boruvka.phases <= 10)
+
+let test_sparsifier_n160_dense () =
+  let g = Graph_gen.connected_gnp ~seed:206L 160 0.5 in
+  let r = Sparsify.Spectral.sparsify g in
+  let h = r.Sparsify.Spectral.sparsifier in
+  Alcotest.(check bool)
+    (Printf.sprintf "compressed %d -> %d" (Graph.m g) (Graph.m h))
+    true
+    (Graph.m h < Graph.m g / 2);
+  Alcotest.(check bool) "connected" true (Graph.is_connected h)
+
+let suite =
+  [
+    Alcotest.test_case "solver n=200" `Slow test_solver_n200;
+    Alcotest.test_case "orientation n=8192" `Slow test_orientation_n8192;
+    Alcotest.test_case "maxflow m~200" `Slow test_maxflow_m200;
+    Alcotest.test_case "mcf m~120" `Slow test_mcf_m120;
+    Alcotest.test_case "mst n=500" `Slow test_mst_n500;
+    Alcotest.test_case "sparsifier n=160 dense" `Slow
+      test_sparsifier_n160_dense;
+  ]
