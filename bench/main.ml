@@ -12,6 +12,14 @@ let line = String.make 78 '-'
 
 let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
 
+(* Unified per-phase round breakdown, printed after the totals of every
+   experiment: each algorithm charges into one runtime ledger, so the
+   breakdown always sums to the reported rounds. *)
+let phases_str ps =
+  "["
+  ^ String.concat " " (List.map (fun (p, r) -> Printf.sprintf "%s=%d" p r) ps)
+  ^ "]"
+
 (* ------------------------------------------------------------------- E1 *)
 
 let e1_sparsifier () =
@@ -29,10 +37,11 @@ let e1_sparsifier () =
       let r = Sparsify.Spectral.sparsify g in
       let h = r.Sparsify.Spectral.sparsifier in
       let alpha = Sparsify.Quality.approximation_factor g h in
-      Printf.printf "%6d %6d %4d %8d %10.2f %8d %10d %12d\n" n (Graph.m g) u
-        (Graph.m h) alpha r.Sparsify.Spectral.rounds
+      Printf.printf "%6d %6d %4d %8d %10.2f %8d %10d %12d  %s\n" n (Graph.m g)
+        u (Graph.m h) alpha r.Sparsify.Spectral.rounds
         (Sparsify.Spectral.rounds_bound ~n ~u:(float_of_int u) ~gamma:0.25)
-        (Sparsify.Spectral.size_bound ~n ~u:(float_of_int u)))
+        (Sparsify.Spectral.size_bound ~n ~u:(float_of_int u))
+        (phases_str r.Sparsify.Spectral.phase_rounds))
     [ (40, 1); (60, 1); (80, 1); (100, 1); (60, 16); (60, 256) ]
 
 (* ------------------------------------------------------------------- E2 *)
@@ -56,9 +65,10 @@ let e2_solver () =
         Linalg.Chebyshev.iteration_bound ~kappa:r.Laplacian.Solver.kappa ~eps
       in
       let cg = Laplacian.Solver.solve_cg_baseline ~eps g b in
-      Printf.printf "%10.0e %6d %8d %10d %14.2e %12d\n" eps
+      Printf.printf "%10.0e %6d %8d %10d %14.2e %12d  %s\n" eps
         r.Laplacian.Solver.iterations reference r.Laplacian.Solver.rounds err
-        cg.Laplacian.Solver.rounds)
+        cg.Laplacian.Solver.rounds
+        (phases_str r.Laplacian.Solver.phase_rounds))
     [ 1e-1; 1e-2; 1e-4; 1e-6; 1e-8 ];
   Printf.printf "\nn sweep at eps=1e-6 (full pipeline incl. sparsifier):\n";
   Printf.printf "%6s %6s %8s %8s %10s\n" "n" "m" "iters" "rounds" "kappa";
@@ -69,9 +79,10 @@ let e2_solver () =
         Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
       in
       let r = Laplacian.Solver.solve ~eps:1e-6 g b in
-      Printf.printf "%6d %6d %8d %8d %10.2f\n" n (Graph.m g)
+      Printf.printf "%6d %6d %8d %8d %10.2f  %s\n" n (Graph.m g)
         r.Laplacian.Solver.iterations r.Laplacian.Solver.rounds
-        r.Laplacian.Solver.kappa)
+        r.Laplacian.Solver.kappa
+        (phases_str r.Laplacian.Solver.phase_rounds))
     [ 30; 60; 90; 120 ]
 
 (* ------------------------------------------------------------------- E3 *)
@@ -92,10 +103,11 @@ let e3_euler () =
         Euler.Orientation.orient ~selector:(Euler.Orientation.Sampling 1L) g
       in
       assert (Euler.Orientation.check g rnd.Euler.Orientation.orientation);
-      Printf.printf "%7d %8d %8d %7d %10d %10d %10d\n" n (Graph.m g)
+      Printf.printf "%7d %8d %8d %7d %10d %10d %10d  %s\n" n (Graph.m g)
         r.Euler.Orientation.rounds r.Euler.Orientation.iterations
         (Euler.Orientation.rounds_reference ~n)
-        rnd.Euler.Orientation.rounds n)
+        rnd.Euler.Orientation.rounds n
+        (phases_str r.Euler.Orientation.phase_rounds))
     [ 64; 128; 256; 512; 1024; 2048; 4096 ]
 
 (* ------------------------------------------------------------------- E4 *)
@@ -122,9 +134,10 @@ let e4_rounding () =
       let r = Rounding.Flow_rounding.round g ~s:0 ~t ~delta q in
       assert (Flow.is_integral r.Rounding.Flow_rounding.f);
       assert (Flow.is_feasible g ~s:0 ~t ~f:r.Rounding.Flow_rounding.f);
-      Printf.printf "%4d %12g %8d %8d %14g\n" k delta
+      Printf.printf "%4d %12g %8d %8d %14g  %s\n" k delta
         r.Rounding.Flow_rounding.rounds r.Rounding.Flow_rounding.levels
-        (Flow.value g ~s:0 ~f:r.Rounding.Flow_rounding.f))
+        (Flow.value g ~s:0 ~f:r.Rounding.Flow_rounding.f)
+        (phases_str r.Rounding.Flow_rounding.phase_rounds))
     [ 2; 4; 6; 8; 10; 12 ]
 
 (* ------------------------------------------------------------------- E5 *)
@@ -140,11 +153,12 @@ let e5_maxflow () =
     let ff = Ford_fulkerson.max_flow g ~s:0 ~t:(n - 1) in
     let triv = Trivial.max_flow g ~s:0 ~t:(n - 1) in
     assert (r.Maxflow_ipm.value = ff.Ford_fulkerson.value);
-    Printf.printf "%5d %5d %4d %5d %9d %9d %10d %9d %9d %8d\n" n (Digraph.m g)
-      u r.Maxflow_ipm.value r.Maxflow_ipm.ipm_iterations
+    Printf.printf "%5d %5d %4d %5d %9d %9d %10d %9d %9d %8d  %s\n" n
+      (Digraph.m g) u r.Maxflow_ipm.value r.Maxflow_ipm.ipm_iterations
       (Maxflow_ipm.iterations_reference ~m:(Digraph.m g) ~u)
       r.Maxflow_ipm.rounds ff.Ford_fulkerson.rounds triv.Trivial.rounds
       r.Maxflow_ipm.repair_augmentations
+      (phases_str r.Maxflow_ipm.phase_rounds)
   in
   Printf.printf "m sweep (layered networks, U = 8):\n";
   List.iter
@@ -165,10 +179,11 @@ let e6_mincost () =
     match (Mcf_ipm.solve g ~sigma, Mcf_ssp.solve g ~sigma) with
     | Some r, Some oracle ->
       assert (Float.abs (r.Mcf_ipm.cost -. oracle.Mcf_ssp.cost) < 1e-6);
-      Printf.printf "%5d %5d %5d %9d %9d %10d %10d %8d\n" (Digraph.n g)
+      Printf.printf "%5d %5d %5d %9d %9d %10d %10d %8d  %s\n" (Digraph.n g)
         (Digraph.m g) w r.Mcf_ipm.ipm_iterations
         (Mcf_ipm.iterations_reference ~m:(Digraph.m g) ~w)
         r.Mcf_ipm.rounds oracle.Mcf_ssp.rounds r.Mcf_ipm.repair_augmentations
+        (phases_str r.Mcf_ipm.phase_rounds)
     | None, None -> Printf.printf "      (infeasible instance skipped)\n"
     | _ -> failwith "ipm/oracle feasibility disagreement"
   in
@@ -191,9 +206,10 @@ let e6_mincost () =
   (match (Mcf_ipm.solve g ~sigma, Cmsv_bipartite.solve g ~sigma) with
   | Some d, Some v ->
     Printf.printf
-      "  direct:   cost=%g iters=%d rounds=%d\n\
+      "  direct:   cost=%g iters=%d rounds=%d %s\n\
       \  verbatim: cost=%g iters=%d rounds=%d perturbations=%d\n"
       d.Mcf_ipm.cost d.Mcf_ipm.ipm_iterations d.Mcf_ipm.rounds
+      (phases_str d.Mcf_ipm.phase_rounds)
       v.Cmsv_bipartite.cost v.Cmsv_bipartite.ipm_iterations
       v.Cmsv_bipartite.rounds v.Cmsv_bipartite.perturbations
   | _ -> Printf.printf "  (instance infeasible)\n")
@@ -213,10 +229,11 @@ let e7_baselines () =
       let ff = Ford_fulkerson.max_flow g ~s:0 ~t:(n - 1) in
       let triv = Trivial.max_flow g ~s:0 ~t:(n - 1) in
       let ipm = Maxflow_ipm.max_flow g ~s:0 ~t:(n - 1) in
-      Printf.printf "%5d %5d %6d %7d %10d %10d %12d %10d\n" n (Digraph.m g) u
-        ff.Ford_fulkerson.value ff.Ford_fulkerson.rounds
+      Printf.printf "%5d %5d %6d %7d %10d %10d %12d %10d  %s\n" n
+        (Digraph.m g) u ff.Ford_fulkerson.value ff.Ford_fulkerson.rounds
         (Ford_fulkerson.rounds_reference ~n ~value:ff.Ford_fulkerson.value)
-        triv.Trivial.rounds ipm.Maxflow_ipm.rounds)
+        triv.Trivial.rounds ipm.Maxflow_ipm.rounds
+        (phases_str ipm.Maxflow_ipm.phase_rounds))
     [ 1; 4; 16; 64; 256 ]
 
 (* ------------------------------------------------------------------ E7b *)
@@ -268,8 +285,9 @@ let e8_ablations () =
       in
       let r = Laplacian.Solver.solve ~eps:1e-8 g b in
       let cg = Laplacian.Solver.solve_cg_baseline ~eps:1e-8 g b in
-      Printf.printf "%22s %12d %12d\n" name r.Laplacian.Solver.rounds
-        cg.Laplacian.Solver.rounds)
+      Printf.printf "%22s %12d %12d  %s\n" name r.Laplacian.Solver.rounds
+        cg.Laplacian.Solver.rounds
+        (phases_str r.Laplacian.Solver.phase_rounds))
     [
       ("expander(64)", Gen.expander 64 8);
       ("barbell(32)", Gen.barbell 32);

@@ -16,68 +16,9 @@ let kruskal g =
       Unionfind.union uf e.Graph.u e.Graph.v)
     sorted
 
+(* The distributed algorithm itself lives in {!Programs.Make}; this wrapper
+   runs it on the clique kernel and packages the measured rounds. *)
 let minimum_spanning_tree g =
-  if not (Graph.is_connected g) then
-    invalid_arg "Boruvka.minimum_spanning_tree: graph must be connected";
-  let n = Graph.n g in
-  let sim = Sim.create n in
-  let label = Array.init n (fun v -> v) in
-  let chosen = ref [] in
-  let phases = ref 0 in
-  let components = ref n in
-  while !components > 1 do
-    incr phases;
-    (* Round 1: everyone learns every node's component label. *)
-    let labels =
-      Array.map (fun l -> l.(0)) (Sim.broadcast sim (Array.map (fun l -> [| l |]) label))
-    in
-    (* Locally: each node picks its lightest edge leaving its component. *)
-    let candidate = Array.make n (-1) in
-    for v = 0 to n - 1 do
-      List.iter
-        (fun (u, id) ->
-          if labels.(u) <> labels.(v) then
-            match candidate.(v) with
-            | -1 -> candidate.(v) <- id
-            | best -> if edge_key g id < edge_key g best then candidate.(v) <- id)
-        (Graph.adj g v)
-    done;
-    (* Round 2: broadcast the candidates; everyone now shares the merge
-       decisions and applies them identically. *)
-    let shared =
-      Array.map (fun c -> c.(0))
-        (Sim.broadcast sim (Array.map (fun c -> [| c |]) candidate))
-    in
-    (* Per component, keep only its lightest candidate, then union. *)
-    let best_of_component = Hashtbl.create 16 in
-    Array.iteri
-      (fun v id ->
-        if id >= 0 then begin
-          let c = labels.(v) in
-          match Hashtbl.find_opt best_of_component c with
-          | None -> Hashtbl.replace best_of_component c id
-          | Some cur ->
-            if edge_key g id < edge_key g cur then
-              Hashtbl.replace best_of_component c id
-        end)
-      shared;
-    let uf = Unionfind.create n in
-    (* Rebuild current components, then merge along the selected edges. *)
-    for v = 0 to n - 1 do
-      ignore (Unionfind.union uf v labels.(v))
-    done;
-    Hashtbl.iter
-      (fun _ id ->
-        let e = Graph.edge g id in
-        if Unionfind.union uf e.Graph.u e.Graph.v then chosen := id :: !chosen)
-      best_of_component;
-    for v = 0 to n - 1 do
-      label.(v) <- Unionfind.find uf v
-    done;
-    components := Unionfind.count uf
-  done;
-  let edges = List.sort_uniq compare !chosen in
-  let weight =
-    List.fold_left (fun acc id -> acc +. (Graph.edge g id).Graph.w) 0. edges
-  in
-  { edges; weight; rounds = Sim.rounds sim; phases = !phases }
+  let rt = Kernel.clique (Graph.n g) in
+  let edges, weight, phases = Kernel.Sim_programs.boruvka rt g in
+  { edges; weight; rounds = Kernel.rounds rt; phases }

@@ -1,8 +1,9 @@
 (** Minimum spanning tree on the congested-clique kernel.
 
     The congested clique was introduced for MST ([LPSPP05], the paper's
-    model citation); this is the classic Borůvka algorithm running as real
-    node programs on {!Sim}: every phase each node broadcasts its component
+    model citation); this is the classic Borůvka algorithm of
+    {!Programs.S.boruvka} running as real node programs on the clique
+    runtime ({!Kernel.Sim_programs}): every phase each node broadcasts its component
     label (1 round) and its minimum outgoing edge (1 round), after which all
     nodes merge components from the same shared global view. [O(log n)]
     phases, 2 broadcast rounds each. (Lotker et al.'s [O(log log n)]

@@ -2,9 +2,12 @@ type t = {
   graph : Graph.t;
   neighbors : (int, unit) Hashtbl.t array;
   mutable rounds : int;
+  mutable words_sent : int;
 }
 
 exception Not_an_edge of { src : int; dst : int }
+
+let name = "congest"
 
 let create graph =
   let n = Graph.n graph in
@@ -14,107 +17,73 @@ let create graph =
       Hashtbl.replace neighbors.(e.Graph.u) e.Graph.v ();
       Hashtbl.replace neighbors.(e.Graph.v) e.Graph.u ())
     (Graph.edges graph);
-  { graph; neighbors; rounds = 0 }
+  { graph; neighbors; rounds = 0; words_sent = 0 }
+
+let graph t = t.graph
+
+let n t = Graph.n t.graph
 
 let rounds t = t.rounds
 
+let words_sent t = t.words_sent
+
+let check t ~src ~dst =
+  if not (Hashtbl.mem t.neighbors.(src) dst) then raise (Not_an_edge { src; dst })
+
 let exchange ?(width = 2) t outboxes =
-  let n = Graph.n t.graph in
-  if Array.length outboxes <> n then
-    invalid_arg "Congest.exchange: outbox array length mismatch";
-  let inboxes = Array.make n [] in
-  let pair_words = Hashtbl.create 64 in
-  Array.iteri
-    (fun src msgs ->
-      List.iter
-        (fun (dst, payload) ->
-          if dst < 0 || dst >= n then
-            invalid_arg "Congest.exchange: destination out of range";
-          if not (Hashtbl.mem t.neighbors.(src) dst) then
-            raise (Not_an_edge { src; dst });
-          let key = (src, dst) in
-          let cur = try Hashtbl.find pair_words key with Not_found -> 0 in
-          let total = cur + Array.length payload in
-          if total > width then
-            raise (Sim.Bandwidth_exceeded { src; dst; words = total });
-          Hashtbl.replace pair_words key total;
-          inboxes.(dst) <- (src, payload) :: inboxes.(dst))
-        msgs)
-    outboxes;
+  let inboxes, words =
+    Runtime.Mailbox.deliver ~n:(n t) ~width ~check:(check t) outboxes
+  in
+  t.words_sent <- t.words_sent + words;
   t.rounds <- t.rounds + 1;
   inboxes
 
-let bfs t s =
-  let n = Graph.n t.graph in
-  let dist = Array.make n (-1) in
-  dist.(s) <- 0;
-  let frontier = ref [ s ] in
-  while !frontier <> [] do
-    let outboxes = Array.make n [] in
-    List.iter
-      (fun v ->
-        outboxes.(v) <-
-          Hashtbl.fold
-            (fun u () acc -> (u, [| dist.(v) |]) :: acc)
-            t.neighbors.(v) [])
-      !frontier;
-    let inboxes = exchange t outboxes in
-    let next = ref [] in
-    Array.iteri
-      (fun v msgs ->
-        if dist.(v) < 0 then
-          List.iter
-            (fun (_, payload) ->
-              if dist.(v) < 0 then begin
-                dist.(v) <- payload.(0) + 1;
-                next := v :: !next
-              end)
-            msgs)
-      inboxes;
-    frontier := !next
-  done;
-  dist
+let route ?(width = 2) t msgs =
+  let inboxes, words, batches =
+    Runtime.Mailbox.route ~n:(n t) ~width ~check:(check t) msgs
+  in
+  t.words_sent <- t.words_sent + words;
+  t.rounds <- t.rounds + (batches * Runtime.Cost.lenzen_routing_rounds);
+  inboxes
 
-let bellman_ford t s =
-  let n = Graph.n t.graph in
-  let dist = Array.make n infinity in
-  dist.(s) <- 0.;
-  let scale = 1024. in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    (* Every node with a finite distance tells its neighbours (fixed-point
-       encoded to fit the word model). *)
-    let outboxes = Array.make n [] in
-    for v = 0 to n - 1 do
-      if dist.(v) < infinity then
-        outboxes.(v) <-
-          Hashtbl.fold
-            (fun u () acc ->
-              (u, [| int_of_float (Float.round (dist.(v) *. scale)) |]) :: acc)
-            t.neighbors.(v) []
-    done;
-    let inboxes = exchange t outboxes in
-    Array.iteri
-      (fun v msgs ->
-        List.iter
-          (fun (src, payload) ->
-            let d_src = float_of_int payload.(0) /. scale in
-            (* Lightest edge between src and v. *)
-            let w = ref infinity in
-            List.iter
-              (fun (u, id) ->
-                if u = src then w := Float.min !w (Graph.edge t.graph id).Graph.w)
-              (Graph.adj t.graph v);
-            let cand = d_src +. !w in
-            if cand < dist.(v) -. 1e-9 then begin
-              dist.(v) <- cand;
-              changed := true
-            end)
-          msgs)
-      inboxes
+let broadcast ?(width = 2) t values =
+  let k = n t in
+  for src = 0 to k - 1 do
+    for dst = 0 to k - 1 do
+      if src <> dst then check t ~src ~dst
+    done
   done;
-  dist
+  let view, words = Runtime.Mailbox.broadcast ~n:k ~width values in
+  t.words_sent <- t.words_sent + words;
+  t.rounds <- t.rounds + Runtime.Cost.broadcast_rounds;
+  view
+
+let charge t r =
+  if r < 0 then invalid_arg "Congest.charge: negative rounds";
+  t.rounds <- t.rounds + r
+
+(* The same node programs the clique kernel runs, instantiated over this
+   transport (the functor is applied on a local alias; only plain arrays
+   escape, so the private runtime type never leaks). *)
+module Self = struct
+  type nonrec t = t
+
+  let name = name
+  let n = n
+  let rounds = rounds
+  let words_sent = words_sent
+  let exchange = exchange
+  let route = route
+  let broadcast = broadcast
+  let charge = charge
+end
+
+module Rt = Runtime.Make (Self)
+module Node_programs = Programs.Make (Rt)
+
+let bfs t s = Node_programs.bfs (Rt.create t) t.graph s
+
+let bellman_ford t s = Node_programs.bellman_ford (Rt.create t) t.graph s
 
 let diameter g =
   let n = Graph.n g in

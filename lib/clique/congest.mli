@@ -1,31 +1,56 @@
 (** The CONGEST model (§2.1): the congested clique's restricted sibling,
     where nodes may only exchange messages with their *topological*
     neighbours. Built so the §1.1 cross-model comparisons are concrete: the
-    same primitive (e.g. BFS) runs on both kernels, and the CONGEST round
-    formulas of the related-work algorithms are kept next to the clique
-    ones.
+    same node programs (see {!Programs}) run on both kernels through
+    [Runtime.Make], and the CONGEST round formulas of the related-work
+    algorithms are kept next to the clique ones.
 
-    Like {!Sim}, delivery is real and bandwidth is enforced (at most [width]
-    words per edge per direction per round). *)
+    Like {!Sim}, this module is a {!Runtime.TRANSPORT} instance: delivery
+    and bandwidth checks are shared with the clique kernel through
+    {!Runtime.Mailbox} (at most [width] words per edge per direction per
+    round); the only difference is the edge check. *)
 
 type t
 
 exception Not_an_edge of { src : int; dst : int }
 
+val name : string
+(** ["congest"]. *)
+
 val create : Graph.t -> t
 (** One node per vertex; links are exactly the graph's edges. *)
 
+val graph : t -> Graph.t
+
+val n : t -> int
+
 val rounds : t -> int
+
+val words_sent : t -> int
+(** Total words ever sent (message-complexity measure). *)
 
 val exchange :
   ?width:int -> t -> (int * int array) list array -> (int * int array) list array
 (** Same contract as {!Sim.exchange}, except messages must follow edges —
     raises {!Not_an_edge} otherwise. *)
 
+val route :
+  ?width:int -> t -> (int * int * int array) list -> (int * int array) list array
+(** Same batching arithmetic as {!Sim.route}, but every [(src, dst)] pair
+    must be an edge of the graph — raises {!Not_an_edge} otherwise. *)
+
+val broadcast : ?width:int -> t -> int array array -> int array array
+(** All-to-all in one round needs all-to-all links: raises {!Not_an_edge}
+    unless the graph is complete, then behaves like {!Sim.broadcast}. *)
+
+val charge : t -> int -> unit
+(** Advance the round counter without communication ([r ≥ 0]). *)
+
 val bfs : t -> int -> int array
-(** Distributed BFS by flooding: node programs on this kernel; returns hop
-    distances ([-1] unreached) and advances the round counter by exactly the
-    eccentricity of the source — the [D] in every CONGEST bound. *)
+(** Distributed BFS by flooding — the generic {!Programs.Make} program run
+    on this kernel; returns hop distances ([-1] unreached) and advances the
+    round counter by exactly the eccentricity of the source — the [D] in
+    every CONGEST bound. *)
 
 val bellman_ford : t -> int -> float array
 (** Distributed Bellman–Ford on the edge weights; [O(n)] rounds measured. *)

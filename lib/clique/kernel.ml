@@ -1,0 +1,26 @@
+module On_sim = Runtime.Make (Sim)
+module On_congest = Runtime.Make (Congest)
+module Sim_programs = Programs.Make (On_sim)
+module Congest_programs = Programs.Make (On_congest)
+
+type t = On_sim.t
+
+let clique ?phase n = On_sim.create ?phase (Sim.create n)
+
+let congest ?phase g = On_congest.create ?phase (Congest.create g)
+
+let charge = On_sim.charge
+
+let rounds = On_sim.rounds
+
+let words = On_sim.words
+
+let phases = On_sim.phases
+
+let phase_rounds = On_sim.phase_rounds
+
+let with_phase = On_sim.with_phase
+
+let on_round = On_sim.on_round
+
+let report = On_sim.report

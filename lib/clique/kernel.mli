@@ -1,0 +1,48 @@
+(** The two standard runtime instantiations.
+
+    [Runtime.Make] is applied exactly once per kernel here, so every layer
+    of the repo shares the same runtime types: {!On_sim} is the congested
+    clique ({!Sim} under the ledger), {!On_congest} its CONGEST sibling, and
+    {!Sim_programs}/{!Congest_programs} are the generic node programs
+    ({!Programs}) instantiated on each.
+
+    The charged layers (sparsifier, solver, IPMs, rounding) talk to the
+    clique runtime through the aliases below: [Kernel.clique n] replaces the
+    old bare [Cost.create ()] ledger, and [Kernel.charge rt ~phase r] is the
+    single entry point through which all analytic round charges flow. *)
+
+module On_sim : Runtime.S with type transport = Sim.t
+
+module On_congest : Runtime.S with type transport = Congest.t
+
+module Sim_programs : Programs.S with type runtime = On_sim.t
+
+module Congest_programs : Programs.S with type runtime = On_congest.t
+
+type t = On_sim.t
+(** The clique runtime — the type every charged layer carries. *)
+
+val clique : ?phase:string -> int -> t
+(** [clique n] is a fresh runtime over a fresh [n]-node clique. *)
+
+val congest : ?phase:string -> Graph.t -> On_congest.t
+(** [congest g] is a fresh runtime over a fresh CONGEST kernel on [g]. *)
+
+(** Convenience delegates to {!On_sim} (so call sites read
+    [Kernel.charge rt ~phase:"ipm" r]): *)
+
+val charge : ?phase:string -> t -> int -> unit
+
+val rounds : t -> int
+
+val words : t -> int
+
+val phases : t -> (string * int) list
+
+val phase_rounds : t -> string -> int
+
+val with_phase : t -> string -> (unit -> 'a) -> 'a
+
+val on_round : t -> (phase:string -> rounds:int -> words:int -> unit) -> unit
+
+val report : t -> string

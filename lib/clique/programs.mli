@@ -1,0 +1,47 @@
+(** Kernel-independent node programs.
+
+    Each program here is written once against {!Runtime.S} and runs
+    unchanged on every {!Runtime.TRANSPORT} instance — the clique ({!Sim})
+    and the CONGEST sibling ({!Congest}) — producing identical results and
+    identical round counts wherever the communication pattern is legal on
+    both. This is the "written once, run on both kernels" half of the
+    runtime refactor: {!Kernel} holds the two standard instantiations. *)
+
+module type S = sig
+  type runtime
+
+  val bfs : runtime -> Graph.t -> int -> int array
+  (** [bfs rt g s]: distributed BFS by flooding under phase ["bfs"]; returns
+      hop distances ([-1] unreached). Uses one {!Runtime.S.exchange} per
+      level — eccentricity of [s] plus one rounds. Requires the runtime to
+      have [Graph.n g] nodes. *)
+
+  val bellman_ford : runtime -> Graph.t -> int -> float array
+  (** Distributed Bellman–Ford on the edge weights under phase
+      ["bellman-ford"], fixed-point encoded to fit the word model; [O(n)]
+      rounds measured. *)
+
+  val three_color :
+    runtime ->
+    ids:int array ->
+    succ:int array ->
+    pred:int array ->
+    int array * int
+  (** [three_color rt ~ids ~succ ~pred] runs Cole–Vishkin 3-coloring on the
+      disjoint cycles given by successor/predecessor pointers, as real node
+      programs under phase ["coloring"]: one round to learn the successor's
+      color, one per color-reduction step, then three shift-down rounds.
+      Returns the colors (in [{0,1,2}], proper on every ring) and the number
+      of rounds used — [O(log* k) + 4], the quantity Theorem 1.4 charges.
+      Requires at least 2 positions and a runtime of matching size. *)
+
+  val boruvka : runtime -> Graph.t -> int list * float * int
+  (** [boruvka rt g]: Borůvka MST on a connected graph via two
+      {!Runtime.S.broadcast} rounds per phase (component labels under phase
+      ["labels"], candidate edges under ["candidates"]). Returns
+      [(sorted mst edge ids, weight, phases)]; the runtime's rounds advance
+      by [2 · phases]. Ties are broken by edge id, so the result is the
+      unique MST of the perturbed weights [(w, id)]. *)
+end
+
+module Make (R : Runtime.S) : S with type runtime = R.t

@@ -1,6 +1,8 @@
 type t = { n : int; mutable rounds : int; mutable words_sent : int }
 
-exception Bandwidth_exceeded of { src : int; dst : int; words : int }
+exception Bandwidth_exceeded = Runtime.Mailbox.Bandwidth_exceeded
+
+let name = "clique"
 
 let create n =
   if n <= 0 then invalid_arg "Sim.create: need n > 0";
@@ -15,64 +17,22 @@ let words_sent t = t.words_sent
 let default_width = 2
 
 let exchange ?(width = default_width) t outboxes =
-  if Array.length outboxes <> t.n then
-    invalid_arg "Sim.exchange: outbox array length mismatch";
-  let inboxes = Array.make t.n [] in
-  let pair_words = Hashtbl.create 64 in
-  Array.iteri
-    (fun src msgs ->
-      List.iter
-        (fun (dst, payload) ->
-          if dst < 0 || dst >= t.n then
-            invalid_arg
-              (Printf.sprintf "Sim.exchange: destination %d out of range" dst);
-          let w = Array.length payload in
-          let key = (src, dst) in
-          let cur = try Hashtbl.find pair_words key with Not_found -> 0 in
-          let total = cur + w in
-          if total > width then
-            raise (Bandwidth_exceeded { src; dst; words = total });
-          Hashtbl.replace pair_words key total;
-          t.words_sent <- t.words_sent + w;
-          inboxes.(dst) <- (src, payload) :: inboxes.(dst))
-        msgs)
-    outboxes;
+  let inboxes, words = Runtime.Mailbox.deliver ~n:t.n ~width outboxes in
+  t.words_sent <- t.words_sent + words;
   t.rounds <- t.rounds + 1;
   inboxes
 
-let route t msgs =
-  let width = default_width in
-  let sent = Array.make t.n 0 in
-  let received = Array.make t.n 0 in
-  let inboxes = Array.make t.n [] in
-  List.iter
-    (fun (src, dst, payload) ->
-      if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
-        invalid_arg "Sim.route: endpoint out of range";
-      let w = Array.length payload in
-      sent.(src) <- sent.(src) + w;
-      received.(dst) <- received.(dst) + w;
-      t.words_sent <- t.words_sent + w;
-      inboxes.(dst) <- (src, payload) :: inboxes.(dst))
-    msgs;
-  let max_load = ref 0 in
-  for v = 0 to t.n - 1 do
-    max_load := max !max_load (max sent.(v) received.(v))
-  done;
-  let capacity = t.n * width in
-  let batches = max 1 ((!max_load + capacity - 1) / capacity) in
-  t.rounds <- t.rounds + (batches * Cost.lenzen_routing_rounds);
+let route ?(width = default_width) t msgs =
+  let inboxes, words, batches = Runtime.Mailbox.route ~n:t.n ~width msgs in
+  t.words_sent <- t.words_sent + words;
+  t.rounds <- t.rounds + (batches * Runtime.Cost.lenzen_routing_rounds);
   inboxes
 
-let broadcast t values =
-  if Array.length values <> t.n then
-    invalid_arg "Sim.broadcast: values array length mismatch";
-  Array.iter
-    (fun payload ->
-      t.words_sent <- t.words_sent + ((t.n - 1) * Array.length payload))
-    values;
-  t.rounds <- t.rounds + Cost.broadcast_rounds;
-  Array.copy values
+let broadcast ?(width = default_width) t values =
+  let view, words = Runtime.Mailbox.broadcast ~n:t.n ~width values in
+  t.words_sent <- t.words_sent + words;
+  t.rounds <- t.rounds + Runtime.Cost.broadcast_rounds;
+  view
 
 let charge t r =
   if r < 0 then invalid_arg "Sim.charge: negative rounds";

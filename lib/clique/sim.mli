@@ -6,13 +6,20 @@
     pair ([width = 2] by default: a tag word plus a value word). Exceeding
     the budget raises {!Bandwidth_exceeded} — algorithms cannot cheat.
 
-    The genuinely distributed subroutines (Eulerian orientation and its
-    Cole–Vishkin coloring) run on this kernel; their round counts are
-    *measured*, not charged. *)
+    This module is a {!Runtime.TRANSPORT} instance (delivery and bandwidth
+    checks live in {!Runtime.Mailbox}); node programs run on it through
+    [Runtime.Make (Sim)] — see {!Kernel}. The genuinely distributed
+    subroutines (Borůvka, the Eulerian-orientation coloring) have their
+    round counts *measured* here, not charged. *)
 
 type t
 
 exception Bandwidth_exceeded of { src : int; dst : int; words : int }
+(** The same exception as {!Runtime.Mailbox.Bandwidth_exceeded} (rebound),
+    so either name catches it. *)
+
+val name : string
+(** ["clique"]. *)
 
 val create : int -> t
 (** [create n] makes a clique of [n] nodes. *)
@@ -25,6 +32,9 @@ val rounds : t -> int
 val words_sent : t -> int
 (** Total words ever sent (message-complexity measure). *)
 
+val default_width : int
+(** 2 — a tag word plus a value word per ordered pair per round. *)
+
 val exchange :
   ?width:int -> t -> (int * int array) list array -> (int * int array) list array
 (** [exchange t outboxes] performs one synchronous round. [outboxes.(v)] is
@@ -34,20 +44,22 @@ val exchange :
     [width] words (default 2). Increments {!rounds} by 1. *)
 
 val route :
-  t -> (int * int * int array) list -> (int * int array) list array
+  ?width:int -> t -> (int * int * int array) list -> (int * int array) list array
 (** [route t msgs] delivers an arbitrary multiset of [(src, dst, payload)]
-    messages using the Lenzen routing subroutine: requires every node to send
-    at most [n·width] and receive at most [n·width] words, executes the
-    delivery, and advances the round counter by
-    [⌈load⌉ · Cost.lenzen_routing_rounds] where [load] is the max
-    words-per-node divided by [n] (so a within-bound batch costs exactly 16
-    rounds, like the paper's step 2b). Raises [Invalid_argument] on
-    out-of-range endpoints. *)
+    messages using the Lenzen routing subroutine. One batch moves up to
+    [n·width] words per node, so the round counter advances by
+    [⌈load / (n·width)⌉ · Cost.lenzen_routing_rounds] where [load] is the
+    maximum number of words any single node sends or receives (a
+    within-bound batch costs exactly 16 rounds, like the paper's step 2b).
+    A single payload longer than [width] words does not fit any message and
+    raises {!Bandwidth_exceeded}; out-of-range endpoints raise
+    [Invalid_argument]. *)
 
-val broadcast : t -> int array array -> int array array
+val broadcast : ?width:int -> t -> int array array -> int array array
 (** [broadcast t values] has every node send [values.(v)] (at most [width]
-    words) to all others; returns the array of all values (the global view
-    every node now shares). One round. *)
+    words, default 2 — enforced, raising {!Bandwidth_exceeded}) to all
+    others; returns the array of all values (the global view every node now
+    shares). One round. *)
 
 val charge : t -> int -> unit
 (** Advance the round counter without communication (used when a node-local

@@ -5,8 +5,10 @@ module Chebyshev = Linalg.Chebyshev
 module Graph = Graph
 module Digraph = Digraph
 module Gen = Gen
+module Runtime = Runtime
+module Cost = Runtime.Cost
 module Sim = Clique.Sim
-module Cost = Clique.Cost
+module Kernel = Clique.Kernel
 module Congest = Clique.Congest
 module Boruvka = Clique.Boruvka
 module Conductance = Expander.Conductance

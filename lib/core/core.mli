@@ -15,6 +15,10 @@
 
 (** {1 Substrate modules} *)
 
+(** The functorized runtime layer: {!Runtime.Make} over the two
+    {!Runtime.TRANSPORT} kernels ({!Sim}, {!Congest}); {!Kernel} holds the
+    standard instantiations and {!Cost} the shared phase-tagged ledger. *)
+
 module Vec = Linalg.Vec
 module Dense = Linalg.Dense
 module Csr = Linalg.Csr
@@ -22,8 +26,10 @@ module Chebyshev = Linalg.Chebyshev
 module Graph = Graph
 module Digraph = Digraph
 module Gen = Gen
+module Runtime = Runtime
+module Cost = Runtime.Cost
 module Sim = Clique.Sim
-module Cost = Clique.Cost
+module Kernel = Clique.Kernel
 module Congest = Clique.Congest
 module Boruvka = Clique.Boruvka
 module Conductance = Expander.Conductance

@@ -8,6 +8,7 @@ type result = {
   rings : int;
   iterations : int;
   coloring_rounds : int;
+  phase_rounds : (string * int) list;
 }
 
 let is_eulerian g =
@@ -88,7 +89,13 @@ let contract_once ?rng ~succ ~pred ~active ~eligible ~ring_of () =
   let cv_rounds =
     match rng with
     | None ->
-      let colors, cv_rounds = Coloring.three_color ~ids ~succ:s ~pred:p in
+      (* The coloring chain runs as real node programs over the active
+         positions; only its measured round count flows back (charged into
+         the orientation's ledger by the caller). *)
+      let rt = Clique.Kernel.clique k in
+      let colors, cv_rounds =
+        Clique.Kernel.Sim_programs.three_color rt ~ids ~succ:s ~pred:p
+      in
       let matched =
         Coloring.maximal_matching_on_cycles ~colors ~succ:s ~pred:p
       in
@@ -173,7 +180,14 @@ let orient ?(selector = Cole_vishkin) ?(choose = fun (_ : ring_edge list) -> tru
   let trails = build_trails g in
   let orientation = Array.make m true in
   if m = 0 then
-    { orientation; rounds = 0; rings = 0; iterations = 0; coloring_rounds = 0 }
+    {
+      orientation;
+      rounds = 0;
+      rings = 0;
+      iterations = 0;
+      coloring_rounds = 0;
+      phase_rounds = [];
+    }
   else begin
     (* Flatten the trails into global positions. *)
     let total = List.fold_left (fun a t -> a + List.length t) 0 trails in
@@ -202,6 +216,7 @@ let orient ?(selector = Cole_vishkin) ?(choose = fun (_ : ring_edge list) -> tru
       | Cole_vishkin -> None
       | Sampling seed -> Some (Prng.create seed)
     in
+    let rt = Clique.Kernel.clique (max 1 (Graph.n g)) in
     let active = Array.make total true in
     let active_per_ring = Array.copy ring_sizes in
     let iterations = ref 0 in
@@ -221,7 +236,9 @@ let orient ?(selector = Cole_vishkin) ?(choose = fun (_ : ring_edge list) -> tru
       in
       coloring_rounds := !coloring_rounds + cv;
       (* CV exchange + the constant-round bridged forwarding via routing. *)
-      forward_rounds := !forward_rounds + cv + Clique.Cost.lenzen_routing_rounds;
+      Clique.Kernel.charge rt ~phase:"coloring" cv;
+      Clique.Kernel.charge rt ~phase:"bridge" Runtime.Cost.lenzen_routing_rounds;
+      forward_rounds := !forward_rounds + cv + Runtime.Cost.lenzen_routing_rounds;
       Array.fill active_per_ring 0 (Array.length active_per_ring) 0;
       Array.iteri
         (fun pos a ->
@@ -244,14 +261,17 @@ let orient ?(selector = Cole_vishkin) ?(choose = fun (_ : ring_edge list) -> tru
           orientation.(re.edge) <- (if keep_direction then re.along else not re.along))
         ring_members.(r)
     done;
-    let decision_rounds = 4 in
-    let rounds = (2 * !forward_rounds) + decision_rounds in
+    (* Spreading the decision replays the contraction backwards (same round
+       count as the forward phase), plus the O(1)-round leader election. *)
+    Clique.Kernel.charge rt ~phase:"reverse" !forward_rounds;
+    Clique.Kernel.charge rt ~phase:"decision" 4;
     {
       orientation;
-      rounds;
+      rounds = Clique.Kernel.rounds rt;
       rings;
       iterations = !iterations;
       coloring_rounds = !coloring_rounds;
+      phase_rounds = Clique.Kernel.phases rt;
     }
   end
 
@@ -270,6 +290,6 @@ let check g orientation =
   Array.for_all (( = ) 0) balance
 
 let rounds_reference ~n =
-  let logn = Clique.Cost.log2_ceil (max n 2) in
+  let logn = Runtime.Cost.log2_ceil (max n 2) in
   let logstar = Coloring.log_star (max n 2) in
-  2 * logn * (logstar + 5 + Clique.Cost.lenzen_routing_rounds)
+  2 * logn * (logstar + 5 + Runtime.Cost.lenzen_routing_rounds)

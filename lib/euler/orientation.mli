@@ -19,9 +19,11 @@
     in-degree equal out-degree at every node, because a closed trail enters
     a vertex exactly as often as it leaves it.
 
-    Round counts are measured per component: the Cole–Vishkin chains report
-    their real lengths; the constant-round contraction and reverse phases
-    charge the model constants from {!Clique.Cost}. *)
+    Round counts are measured per component: the Cole–Vishkin chains run as
+    node programs on the clique runtime ({!Clique.Kernel.Sim_programs}) and
+    report their real lengths; the constant-round contraction and reverse
+    phases charge the model constants from {!Runtime.Cost}. Everything flows
+    through one phase-tagged ledger, reported in [phase_rounds]. *)
 
 type ring_edge = {
   edge : int;  (** edge identifier in the input graph *)
@@ -43,6 +45,9 @@ type result = {
   rings : int;  (** number of closed trails in the decomposition *)
   iterations : int;  (** contraction iterations (the [log n] factor) *)
   coloring_rounds : int;  (** total rounds spent inside Cole–Vishkin *)
+  phase_rounds : (string * int) list;
+      (** ledger breakdown: ["coloring"], ["bridge"], ["reverse"],
+          ["decision"] (sorted; empty for an edgeless graph) *)
 }
 
 val is_eulerian : Graph.t -> bool

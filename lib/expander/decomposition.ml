@@ -7,7 +7,7 @@ type t = {
 
 let rounds_formula ~n ~gamma =
   let nf = float_of_int (max n 2) in
-  int_of_float (Float.ceil (nf ** gamma)) + (4 * Clique.Cost.log2_ceil n)
+  int_of_float (Float.ceil (nf ** gamma)) + (4 * Runtime.Cost.log2_ceil n)
 
 (* Exact minimum-conductance cut by enumeration; n ≤ 16. *)
 let best_cut_small g =

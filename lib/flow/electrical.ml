@@ -26,7 +26,7 @@ let compute ?(solver = Cg 1e-10) ~support ~resistance ~b () =
       (Linalg.Dense.solve_grounded l b, 1, 1)
     | Cg tol ->
       let x, st = Linalg.Cg.solve_grounded ~tol (Graph.apply_laplacian cg) b in
-      (x, st.Linalg.Cg.iterations * Clique.Cost.matvec_rounds,
+      (x, st.Linalg.Cg.iterations * Runtime.Cost.matvec_rounds,
        st.Linalg.Cg.iterations)
     | Theorem_1_1 eps ->
       let r = Laplacian.Solver.solve ~eps cg b in

@@ -94,7 +94,7 @@ let max_flow g ~s ~t =
     f = Array.map float_of_int flow;
     value;
     iterations;
-    rounds = (iterations + 1) * Clique.Cost.apsp_rounds (Digraph.n g);
+    rounds = (iterations + 1) * Runtime.Cost.apsp_rounds (Digraph.n g);
   }
 
-let rounds_reference ~n ~value = (value + 1) * Clique.Cost.apsp_rounds n
+let rounds_reference ~n ~value = (value + 1) * Runtime.Cost.apsp_rounds n

@@ -100,7 +100,7 @@ let max_flow ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~s ~t =
   let n = Digraph.n g in
   let m = Digraph.m g in
   let u = max 1 (Digraph.max_capacity g) in
-  let cost = Clique.Cost.create () in
+  let rt = Clique.Kernel.clique (max 1 n) in
   let zero_report value f =
     {
       f;
@@ -108,8 +108,8 @@ let max_flow ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~s ~t =
       ipm_iterations = 0;
       laplacian_solves = 0;
       repair_augmentations = 0;
-      rounds = Clique.Cost.rounds cost;
-      phase_rounds = Clique.Cost.phases cost;
+      rounds = Clique.Kernel.rounds rt;
+      phase_rounds = Clique.Kernel.phases rt;
     }
   in
   if m = 0 then zero_report 0 [||]
@@ -140,18 +140,18 @@ let max_flow ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~s ~t =
         progress_step ~solver g support f_rel ~s ~t ~remaining
       in
       solves := !solves + 2;
-      Clique.Cost.charge cost ~phase:"ipm" step_rounds;
+      Clique.Kernel.charge rt ~phase:"ipm" step_rounds;
       val_routed := !val_routed +. gained;
       if gained < 1e-6 *. Float.max target 1. then incr stall else stall := 0
     done;
     (* Gather the fractional flow so the grid snap can run internally. *)
-    let grid_bits = Clique.Cost.log2_ceil (4 * m) + 2 in
+    let grid_bits = Runtime.Cost.log2_ceil (4 * m) + 2 in
     let delta = 1. /. float_of_int (1 lsl grid_bits) in
-    Clique.Cost.charge cost ~phase:"gather"
-      (Clique.Cost.gather_rounds ~n ~m
+    Clique.Kernel.charge rt ~phase:"gather"
+      (Runtime.Cost.gather_rounds ~n ~m
          ~bits_per_edge:
-           ((2 * Clique.Cost.log2_ceil (max n 2))
-           + Clique.Cost.log2_ceil (u + 1)
+           ((2 * Runtime.Cost.log2_ceil (max n 2))
+           + Runtime.Cost.log2_ceil (u + 1)
            + grid_bits));
     (* Project the signed relaxation onto a directed-feasible grid flow: the
        largest flow dominated by the positive part of f_rel, computed
@@ -174,10 +174,12 @@ let max_flow ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~s ~t =
     (* Round to integrality with the Eulerian-orientation rounding. *)
     let rounded =
       if Array.for_all (fun x -> x = 0.) f_dir then
-        { Rounding.Flow_rounding.f = f_dir; rounds = 0; levels = 0 }
+        { Rounding.Flow_rounding.f = f_dir; rounds = 0; levels = 0;
+          phase_rounds = [] }
       else Rounding.Flow_rounding.round g ~s ~t ~delta f_dir
     in
-    Clique.Cost.charge cost ~phase:"rounding" rounded.Rounding.Flow_rounding.rounds;
+    Clique.Kernel.charge rt ~phase:"rounding"
+      rounded.Rounding.Flow_rounding.rounds;
     let f_int = Array.map int_of_float rounded.Rounding.Flow_rounding.f in
     (* Exact repair with augmenting paths. *)
     let f_final, _gained, repairs =
@@ -186,8 +188,8 @@ let max_flow ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~s ~t =
     Log.debug (fun k ->
         k "max_flow: m=%d ipm_iterations=%d routed=%.3f repairs=%d" m !iters
           !val_routed repairs);
-    Clique.Cost.charge cost ~phase:"repair"
-      ((repairs + 1) * Clique.Cost.apsp_rounds n);
+    Clique.Kernel.charge rt ~phase:"repair"
+      ((repairs + 1) * Runtime.Cost.apsp_rounds n);
     let value =
       let ex = Flow.excess g (Array.map float_of_int f_final) in
       int_of_float (Float.round (-.ex.(s)))
@@ -198,8 +200,8 @@ let max_flow ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~s ~t =
       ipm_iterations = !iters;
       laplacian_solves = !solves;
       repair_augmentations = repairs;
-      rounds = Clique.Cost.rounds cost;
-      phase_rounds = Clique.Cost.phases cost;
+      rounds = Clique.Kernel.rounds rt;
+      phase_rounds = Clique.Kernel.phases rt;
     }
   end
 
@@ -210,5 +212,5 @@ let rounds_reference ~n ~m ~u =
     2 * Linalg.Chebyshev.iteration_bound ~kappa:64. ~eps:1e-8
   in
   (iterations_reference ~m ~u * solve_proxy)
-  + (Clique.Cost.log2_ceil (4 * m) * Euler.Orientation.rounds_reference ~n)
-  + (2 * Clique.Cost.apsp_rounds n)
+  + (Runtime.Cost.log2_ceil (4 * m) * Euler.Orientation.rounds_reference ~n)
+  + (2 * Runtime.Cost.apsp_rounds n)

@@ -324,15 +324,15 @@ let route_deficits g sigma f =
    super source/sink, quantize, cost-aware round, route deficits, cancel
    negative cycles, detect infeasibility via stuck auxiliary arcs. Returns
    the exact original-arc flow and the repair-operation count. *)
-let round_and_repair lift f cost_acc =
+let round_and_repair lift f rt =
   let lg = lift.lg in
   let mh = Digraph.m lg in
   let n = Digraph.n lg - 1 in
-  let grid_bits = Clique.Cost.log2_ceil (8 * mh) + 1 in
+  let grid_bits = Runtime.Cost.log2_ceil (8 * mh) + 1 in
   let delta = 1. /. float_of_int (1 lsl grid_bits) in
-  Clique.Cost.charge cost_acc ~phase:"gather"
-    (Clique.Cost.gather_rounds ~n:(max n 2) ~m:mh
-       ~bits_per_edge:((2 * Clique.Cost.log2_ceil (max n 2)) + grid_bits));
+  Clique.Kernel.charge rt ~phase:"gather"
+    (Runtime.Cost.gather_rounds ~n:(max n 2) ~m:mh
+       ~bits_per_edge:((2 * Runtime.Cost.log2_ceil (max n 2)) + grid_bits));
   let ss = Digraph.n lg and tt = Digraph.n lg + 1 in
   let ext_arcs = ref [] in
   let ext_flow = ref [] in
@@ -357,10 +357,11 @@ let round_and_repair lift f cost_acc =
   let arc_cost e = float_of_int (Digraph.arc ext e).Digraph.cost in
   let rounded =
     if Array.for_all (fun x -> x = 0.) fq then
-      { Rounding.Flow_rounding.f = fq; rounds = 0; levels = 0 }
+      { Rounding.Flow_rounding.f = fq; rounds = 0; levels = 0;
+        phase_rounds = [] }
     else Rounding.Flow_rounding.round ~cost:arc_cost ext ~s:ss ~t:tt ~delta fq
   in
-  Clique.Cost.charge cost_acc ~phase:"rounding"
+  Clique.Kernel.charge rt ~phase:"rounding"
     rounded.Rounding.Flow_rounding.rounds;
   let f_lift = Array.sub rounded.Rounding.Flow_rounding.f 0 mh in
   match route_deficits lg lift.sigma_hat f_lift with
@@ -368,8 +369,8 @@ let round_and_repair lift f cost_acc =
   | Some deficit_augs ->
     let cancels = cancel_negative_cycles lg f_lift in
     let repair = deficit_augs + cancels in
-    Clique.Cost.charge cost_acc ~phase:"repair"
-      ((repair + 1) * Clique.Cost.apsp_rounds (max n 2));
+    Clique.Kernel.charge rt ~phase:"repair"
+      ((repair + 1) * Runtime.Cost.apsp_rounds (max n 2));
     let aux_used =
       let used = ref false in
       for e = lift.m0 to mh - 1 do
@@ -384,7 +385,7 @@ let solve ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~sigma =
   let lg = lift.lg in
   let mh = Digraph.m lg in
   let w_max = max 1 (Digraph.max_cost g) in
-  let cost_acc = Clique.Cost.create () in
+  let rt = Clique.Kernel.clique (max 1 (Digraph.n lg)) in
   let support = Graph.create (Digraph.n lg)
       (Array.to_list (Digraph.arcs lg)
       |> List.map (fun a ->
@@ -404,7 +405,7 @@ let solve ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~sigma =
     incr iters;
     let step_rounds, rho4 = newton_step ~solver lift support f !mu in
     incr solves;
-    Clique.Cost.charge cost_acc ~phase:"ipm" step_rounds;
+    Clique.Kernel.charge rt ~phase:"ipm" step_rounds;
     (* CMSV's µ-reduction rule: cap the rate by the observed congestion
        (this is where their Perturbation loop does its work). *)
     let delta = Float.min 0.125 (1. /. (8. *. Float.max rho4 1e-9)) in
@@ -413,13 +414,13 @@ let solve ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~sigma =
       let r = fix_demand ~solver lift support f in
       if r > 0 then begin
         incr solves;
-        Clique.Cost.charge cost_acc ~phase:"ipm" r
+        Clique.Kernel.charge rt ~phase:"ipm" r
       end
     end
   done;
   Log.debug (fun k ->
       k "solve: m=%d iterations=%d final_mu=%.2e" mh !iters !mu);
-  match round_and_repair lift f cost_acc with
+  match round_and_repair lift f rt with
   | None -> None
   | Some (f_final, repair) ->
     Some
@@ -429,8 +430,8 @@ let solve ?(solver = Electrical.Cg 1e-10) ?iteration_cap g ~sigma =
         ipm_iterations = !iters;
         laplacian_solves = !solves;
         repair_augmentations = repair;
-        rounds = Clique.Cost.rounds cost_acc;
-        phase_rounds = Clique.Cost.phases cost_acc;
+        rounds = Clique.Kernel.rounds rt;
+        phase_rounds = Clique.Kernel.phases rt;
       }
 
 (* §2.4: min-cost max s-t flow reduces to min-cost flow by binary search
@@ -467,6 +468,6 @@ let solve_max_flow_min_cost ?solver g ~s ~t =
 let rounds_reference ~n ~m ~w =
   let solve_proxy = Linalg.Chebyshev.iteration_bound ~kappa:64. ~eps:1e-8 in
   (iterations_reference ~m ~w * solve_proxy)
-  + (Clique.Cost.log2_ceil (8 * m) * Euler.Orientation.rounds_reference ~n)
+  + (Runtime.Cost.log2_ceil (8 * m) * Euler.Orientation.rounds_reference ~n)
   + (int_of_float (Float.ceil ((float_of_int (max m 2) ** (3. /. 7.)) +. 1.))
-    * Clique.Cost.apsp_rounds n)
+    * Runtime.Cost.apsp_rounds n)

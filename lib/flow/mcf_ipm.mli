@@ -40,12 +40,12 @@ val build_lift : Digraph.t -> sigma:int array -> lift
     of cost [‖c‖₁]. Validates unit capacities and [Σσ = 0]. *)
 
 val round_and_repair :
-  lift -> float array -> Clique.Cost.t -> (Flow.t * int) option
+  lift -> float array -> Clique.Kernel.t -> (Flow.t * int) option
 (** Algorithm 10's role: gather + grid quantization + cost-aware Lemma 4.2
     rounding + deficit routing + negative-cycle cancelling. [None] when the
     instance is infeasible (auxiliary arcs stay loaded). Returns the exact
     original-arc flow and the repair-operation count; charges its phases
-    into the given accumulator. *)
+    into the given runtime's ledger. *)
 
 type report = {
   f : Flow.t;  (** exact integral min-cost flow on the input arcs *)

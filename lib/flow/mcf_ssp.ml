@@ -154,7 +154,7 @@ let solve g ~sigma =
         f;
         cost;
         augmentations;
-        rounds = (augmentations + 1) * Clique.Cost.apsp_rounds n;
+        rounds = (augmentations + 1) * Runtime.Cost.apsp_rounds n;
       }
   end
 

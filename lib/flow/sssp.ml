@@ -70,4 +70,4 @@ let path_to ~parent g v =
   in
   loop v []
 
-let charged_rounds ~n = Clique.Cost.apsp_rounds n
+let charged_rounds ~n = Runtime.Cost.apsp_rounds n

@@ -3,7 +3,7 @@
     In the congested clique the paper computes (approximate) shortest paths
     with the CKKL'19 distance-product algorithm in [O(n^{0.158})] rounds; we
     compute the same distances exactly with classical algorithms and charge
-    {!Clique.Cost.apsp_rounds} per call (DESIGN.md substitution 4). *)
+    {!Runtime.Cost.apsp_rounds} per call (DESIGN.md substitution 4). *)
 
 val dijkstra :
   Digraph.t ->

@@ -6,11 +6,11 @@ let gather_rounds g =
   let u = max 1 (Digraph.max_capacity g) in
   let w = max 1 (Digraph.max_cost g) in
   let bits_per_edge =
-    (2 * Clique.Cost.log2_ceil (max n 2))
-    + Clique.Cost.log2_ceil (u + 1)
-    + Clique.Cost.log2_ceil (w + 1)
+    (2 * Runtime.Cost.log2_ceil (max n 2))
+    + Runtime.Cost.log2_ceil (u + 1)
+    + Runtime.Cost.log2_ceil (w + 1)
   in
-  Clique.Cost.gather_rounds ~n ~m ~bits_per_edge
+  Runtime.Cost.gather_rounds ~n ~m ~bits_per_edge
 
 let max_flow g ~s ~t =
   let f, value = Dinic.max_flow g ~s ~t in
@@ -23,6 +23,6 @@ let min_cost_flow g ~sigma =
 
 let rounds_reference ~n ~m ~u =
   let bits_per_edge =
-    (2 * Clique.Cost.log2_ceil (max n 2)) + Clique.Cost.log2_ceil (u + 1)
+    (2 * Runtime.Cost.log2_ceil (max n 2)) + Runtime.Cost.log2_ceil (u + 1)
   in
-  Clique.Cost.gather_rounds ~n ~m ~bits_per_edge
+  Runtime.Cost.gather_rounds ~n ~m ~bits_per_edge

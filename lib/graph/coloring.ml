@@ -4,46 +4,14 @@ let lowest_differing_bit a b =
   let rec loop i x = if x land 1 = 1 then i else loop (i + 1) (x lsr 1) in
   loop 0 x
 
+let cv_combine c cs =
+  let k = lowest_differing_bit c cs in
+  (2 * k) + ((c lsr k) land 1)
+
 let cv_step colors ~succ =
-  Array.mapi
-    (fun i c ->
-      let cs = colors.(succ.(i)) in
-      let k = lowest_differing_bit c cs in
-      (2 * k) + ((c lsr k) land 1))
-    colors
+  Array.mapi (fun i c -> cv_combine c colors.(succ.(i))) colors
 
 let max_color colors = Array.fold_left max 0 colors
-
-let three_color ~ids ~succ ~pred =
-  let k = Array.length ids in
-  if Array.length succ <> k || Array.length pred <> k then
-    invalid_arg "Coloring.three_color: array length mismatch";
-  let colors = ref (Array.copy ids) in
-  let rounds = ref 1 in
-  (* 1 round: learn successor's id *)
-  while max_color !colors >= 6 do
-    colors := cv_step !colors ~succ;
-    incr rounds
-  done;
-  (* Shift-down recoloring: vertices of class c >= 3 simultaneously pick the
-     smallest color in {0,1,2} unused by their two neighbors. Same-class
-     vertices are never adjacent, so parallel recoloring stays proper. *)
-  let cur = !colors in
-  for c = 5 downto 3 do
-    let snapshot = Array.copy cur in
-    for i = 0 to k - 1 do
-      if snapshot.(i) = c then begin
-        let a = snapshot.(succ.(i)) and b = snapshot.(pred.(i)) in
-        let pick = ref 0 in
-        while !pick = a || !pick = b do
-          incr pick
-        done;
-        cur.(i) <- !pick
-      end
-    done;
-    incr rounds
-  done;
-  (cur, !rounds)
 
 let is_proper colors ~succ =
   let ok = ref true in

@@ -13,19 +13,27 @@
       shift-and-recolor rounds reduce 6 to 3.
 
     A cycle cover is given by successor/predecessor arrays over positions
-    [0..k-1]; several disjoint cycles may be packed into one array. *)
+    [0..k-1]; several disjoint cycles may be packed into one array.
+
+    This module holds only the node-local arithmetic of the chain; the
+    communication schedule (who tells whom its color each round) lives in
+    the kernel-independent node program [Clique.Programs.S.three_color]. *)
+
+val cv_combine : int -> int -> int
+(** [cv_combine c cs] is one position's Cole–Vishkin update: combine own
+    color [c] with successor color [cs] into the index of the lowest
+    differing bit paired with own bit value there. Requires [c <> cs];
+    the results of adjacent positions stay distinct. *)
 
 val cv_step : int array -> succ:int array -> int array
-(** One Cole–Vishkin reduction step: [cv_step colors ~succ] returns the new
-    coloring where position [i] combines the lowest differing bit index with
-    its own bit value against [colors.(succ.(i))]. Requires adjacent colors
+(** One Cole–Vishkin reduction step applied at every position at once:
+    [cv_step colors ~succ] maps position [i] to
+    [cv_combine colors.(i) colors.(succ.(i))]. Requires adjacent colors
     distinct; preserves that invariant. *)
 
-val three_color : ids:int array -> succ:int array -> pred:int array -> int array * int
-(** [three_color ~ids ~succ ~pred] returns a proper 3-coloring (values in
-    [{0,1,2}]) of the cycle cover and the number of communication rounds the
-    chain used (CV steps + 3 reduction rounds), the quantity charged by
-    Theorem 1.4's accounting. [ids] must be distinct non-negative ints. *)
+val max_color : int array -> int
+(** Largest color in use — the chain's termination predicate
+    (reduce while [max_color ≥ 6]). *)
 
 val is_proper : int array -> succ:int array -> bool
 

@@ -44,7 +44,7 @@ let kappa_power_iters = 40
 (* Distributed estimation of the pencil extremes of (L_G, L_H): power
    iteration on B†A (one matvec round per application, B†-solves internal),
    then on its reflection to reach the bottom of the spectrum. *)
-let estimate_kappa cost g solve_h =
+let estimate_kappa rt g solve_h =
   let n = Graph.n g in
   let apply m v = m (Linalg.Vec.center v) in
   let bta v = solve_h (Graph.apply_laplacian g v) in
@@ -87,8 +87,8 @@ let estimate_kappa cost g solve_h =
     end
   done;
   let mu_min = Float.max (c -. !mu_reflected) (!mu_max *. 1e-8) in
-  Clique.Cost.charge cost ~phase:"kappa-estimate"
-    (2 * kappa_power_iters * Clique.Cost.matvec_rounds);
+  Clique.Kernel.charge rt ~phase:"kappa-estimate"
+    (2 * kappa_power_iters * Runtime.Cost.matvec_rounds);
   (!mu_max, mu_min)
 
 let preprocess_weights eps g =
@@ -98,13 +98,13 @@ let preprocess_weights eps g =
     (fun e -> eps *. Float.max 1. (Float.round (e.Graph.w /. eps)))
     g
 
-let solve_with_sparsifier ?(eps = 1e-6) ?inner g sp b =
+let solve_with_sparsifier ?(eps = 1e-6) ?inner ?rt g sp b =
   let n = Graph.n g in
   let inner = match inner with Some i -> i | None -> default_inner n in
-  let cost = Clique.Cost.create () in
+  let rt = match rt with Some rt -> rt | None -> Clique.Kernel.clique n in
   let h = sp.Sparsify.Spectral.sparsifier in
   let solve_h = inner_solve inner h in
-  let lmax, lmin = estimate_kappa cost g solve_h in
+  let lmax, lmin = estimate_kappa rt g solve_h in
   let kappa = 1.2 *. lmax /. lmin in
   let b = Linalg.Vec.center b in
   let max_iters =
@@ -116,8 +116,8 @@ let solve_with_sparsifier ?(eps = 1e-6) ?inner g sp b =
       ~solve_b:(fun v -> Linalg.Vec.scale (1. /. lmax) (solve_h v))
       ~kappa ~tol:(eps /. 100.) ~max_iters b
   in
-  Clique.Cost.charge cost ~phase:"chebyshev"
-    (st.Linalg.Chebyshev.iterations * Clique.Cost.matvec_rounds);
+  Clique.Kernel.charge rt ~phase:"chebyshev"
+    (st.Linalg.Chebyshev.iterations * Runtime.Cost.matvec_rounds);
   Log.debug (fun k ->
       k "solve: n=%d kappa=%.3f iterations=%d residual=%.2e" n kappa
         st.Linalg.Chebyshev.iterations st.Linalg.Chebyshev.residual);
@@ -126,8 +126,8 @@ let solve_with_sparsifier ?(eps = 1e-6) ?inner g sp b =
     iterations = st.Linalg.Chebyshev.iterations;
     kappa;
     sparsifier_edges = Graph.m h;
-    rounds = Clique.Cost.rounds cost;
-    phase_rounds = Clique.Cost.phases cost;
+    rounds = Clique.Kernel.rounds rt;
+    phase_rounds = Clique.Kernel.phases rt;
     residual = st.Linalg.Chebyshev.residual;
   }
 
@@ -136,15 +136,11 @@ let solve ?(eps = 1e-6) ?(phi = 0.05) ?inner ?backend g b =
     invalid_arg "Solver.solve: graph must be connected (L† needs one component)";
   let g' = preprocess_weights eps g in
   let sp = Sparsify.Spectral.sparsify ~phi ?backend g' in
-  let report = solve_with_sparsifier ~eps ?inner g sp b in
-  let phase_rounds =
-    ("sparsify", sp.Sparsify.Spectral.rounds) :: report.phase_rounds
-  in
-  {
-    report with
-    rounds = report.rounds + sp.Sparsify.Spectral.rounds;
-    phase_rounds;
-  }
+  (* One ledger for the whole pipeline: the sparsifier's charged rounds land
+     in the same runtime the solve phases charge into. *)
+  let rt = Clique.Kernel.clique (Graph.n g) in
+  Clique.Kernel.charge rt ~phase:"sparsify" sp.Sparsify.Spectral.rounds;
+  solve_with_sparsifier ~eps ?inner ~rt g sp b
 
 let solve_cg_baseline ?(eps = 1e-6) g b =
   let b = Linalg.Vec.center b in
@@ -156,7 +152,7 @@ let solve_cg_baseline ?(eps = 1e-6) g b =
     iterations = st.Linalg.Cg.iterations;
     kappa = nan;
     sparsifier_edges = 0;
-    rounds = st.Linalg.Cg.iterations * Clique.Cost.matvec_rounds;
+    rounds = st.Linalg.Cg.iterations * Runtime.Cost.matvec_rounds;
     phase_rounds = [ ("cg", st.Linalg.Cg.iterations) ];
     residual =
       st.Linalg.Cg.residual /. Float.max (Linalg.Vec.norm2 b) 1e-300;

@@ -12,7 +12,8 @@
       iterations of one matvec round plus an internal [L_H]-solve.
 
     Round accounting: the sparsifier phase charges its Theorem 3.3 cost, and
-    every matvec charges {!Clique.Cost.matvec_rounds}; totals are broken down
+    every matvec charges {!Runtime.Cost.matvec_rounds}; all charges flow
+    through one clique-runtime ledger ({!Clique.Kernel}) and are broken down
     per phase in the report. *)
 
 type inner_solver =
@@ -26,7 +27,8 @@ type report = {
   sparsifier_edges : int;
   rounds : int;  (** total charged rounds *)
   phase_rounds : (string * int) list;
-      (** breakdown: "sparsify", "kappa-estimate", "chebyshev" *)
+      (** ledger breakdown (sorted): "chebyshev", "kappa-estimate",
+          "sparsify" *)
   residual : float;  (** final relative ℓ₂ residual ‖b − L_G x‖/‖b‖ *)
 }
 
@@ -47,6 +49,7 @@ val solve :
 val solve_with_sparsifier :
   ?eps:float ->
   ?inner:inner_solver ->
+  ?rt:Clique.Kernel.t ->
   Graph.t ->
   Sparsify.Spectral.result ->
   Linalg.Vec.t ->
@@ -54,7 +57,9 @@ val solve_with_sparsifier :
 (** Reuse a previously built sparsifier (the flow IPMs re-solve on graphs
     whose resistances change every iteration but whose support is fixed;
     when the caller knows the sparsifier is still valid it can skip phase 1).
-    The sparsifier construction rounds are {e not} re-charged. *)
+    The sparsifier construction rounds are {e not} re-charged. [rt] lets a
+    caller thread its own runtime ledger through the solve (default: a fresh
+    one, so the report stands alone). *)
 
 val solve_cg_baseline : ?eps:float -> Graph.t -> Linalg.Vec.t -> report
 (** Baseline for experiment E8: plain distributed conjugate gradients

@@ -1,4 +1,9 @@
-type result = { f : float array; rounds : int; levels : int }
+type result = {
+  f : float array;
+  rounds : int;
+  levels : int;
+  phase_rounds : (string * int) list;
+}
 
 let is_power_of_two k = k > 0 && k land (k - 1) = 0
 
@@ -61,8 +66,8 @@ let round ?cost g ~s ~t ~delta f =
           (Printf.sprintf
              "Flow_rounding.round: grid conservation violated at %d (%d)" v b))
     balance;
-  let rounds = ref 0 in
-  let levels = Clique.Cost.log2_ceil grain in
+  let rt = Clique.Kernel.clique (max 1 (Digraph.n g)) in
+  let levels = Runtime.Cost.log2_ceil grain in
   for level = 0 to levels - 1 do
     let step = 1 lsl level in
     let odd = ref [] in
@@ -107,7 +112,7 @@ let round ?cost g ~s ~t ~delta f =
         end
       in
       let r = Euler.Orientation.orient ~choose h in
-      rounds := !rounds + r.Euler.Orientation.rounds;
+      Clique.Kernel.charge rt ~phase:"orient" r.Euler.Orientation.rounds;
       Array.iteri
         (fun hid arc ->
           if r.Euler.Orientation.orientation.(hid) then
@@ -121,4 +126,9 @@ let round ?cost g ~s ~t ~delta f =
   let f' =
     Array.init m (fun e -> Float.round (float_of_int units.(e) *. delta))
   in
-  { f = f'; rounds = !rounds; levels }
+  {
+    f = f';
+    rounds = Clique.Kernel.rounds rt;
+    levels;
+    phase_rounds = Clique.Kernel.phases rt;
+  }

@@ -16,6 +16,9 @@ type result = {
   f : float array;  (** rounded flow, same arc indexing as the input *)
   rounds : int;  (** congested-clique rounds (orientations at every level) *)
   levels : int;  (** [log₂(1/Δ)] *)
+  phase_rounds : (string * int) list;
+      (** ledger breakdown; all orientation rounds land under ["orient"]
+          (empty when no level had odd arcs) *)
 }
 
 val round :

@@ -1,0 +1,58 @@
+(** Round accounting for the charged-cost layer of the simulator.
+
+    The congested clique measures complexity in synchronous rounds (§2.1).
+    Subroutines that we execute centrally-but-faithfully (matrix–vector
+    products, broadcasts, internal solves, the IPM control flow) charge here
+    exactly the rounds the paper's analysis assigns them; genuinely
+    message-passing subroutines (the {!Transport.S} kernels) report their
+    measured rounds into the same counter via {!Runtime.Make}. Each charge
+    is tagged with a phase name so experiment
+    reports can break a total down (e.g. "sparsify" vs "chebyshev" vs
+    "augment"). *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> phase:string -> int -> unit
+(** [charge t ~phase r] adds [r] rounds under [phase]. [r ≥ 0]. *)
+
+val rounds : t -> int
+(** Total rounds charged so far. *)
+
+val phase_rounds : t -> string -> int
+
+val phases : t -> (string * int) list
+(** All phases with their totals, sorted by phase name. *)
+
+val reset : t -> unit
+
+val merge_into : t -> t -> unit
+(** [merge_into src dst] adds all of [src]'s phases into [dst]. *)
+
+(** {1 Model constants and cost formulas}
+
+    These are the concrete round counts the paper cites; they are defined in
+    one place so that the accounting in algorithms and the reference curves
+    in benches cannot drift apart. *)
+
+val lenzen_routing_rounds : int
+(** 16 — routing any multiset with ≤ n sends and receives per node
+    (Lenzen 2013, as used in Theorem 1.4's proof). *)
+
+val broadcast_rounds : int
+(** 1 — every node sends one word to every other node. *)
+
+val matvec_rounds : int
+(** 1 — a Laplacian matrix–vector product: node [i] holds row [i] and [x_i],
+    sends [x_i] to its neighbours, sums locally. *)
+
+val apsp_rounds : int -> int
+(** [⌈n^0.158⌉] — the CKKL'19 distance-product round bound charged per
+    (approximate) APSP/SSSP call (see DESIGN.md substitution 4). *)
+
+val log2_ceil : int -> int
+
+val gather_rounds : n:int -> m:int -> bits_per_edge:int -> int
+(** Rounds for the trivial algorithm of §1.1: make all [m] edges (each
+    [bits_per_edge/⌈log n⌉] words) globally known — [O(n log U)] total. *)

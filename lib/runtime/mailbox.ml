@@ -1,0 +1,66 @@
+exception Bandwidth_exceeded of { src : int; dst : int; words : int }
+
+let deliver ~n ~width ?check outboxes =
+  if Array.length outboxes <> n then
+    invalid_arg "Mailbox.deliver: outbox array length mismatch";
+  let inboxes = Array.make n [] in
+  let pair_words = Hashtbl.create 64 in
+  let words = ref 0 in
+  Array.iteri
+    (fun src msgs ->
+      List.iter
+        (fun (dst, payload) ->
+          if dst < 0 || dst >= n then
+            invalid_arg
+              (Printf.sprintf "Mailbox.deliver: destination %d out of range"
+                 dst);
+          (match check with Some f -> f ~src ~dst | None -> ());
+          let w = Array.length payload in
+          let key = (src, dst) in
+          let cur = try Hashtbl.find pair_words key with Not_found -> 0 in
+          let total = cur + w in
+          if total > width then
+            raise (Bandwidth_exceeded { src; dst; words = total });
+          Hashtbl.replace pair_words key total;
+          words := !words + w;
+          inboxes.(dst) <- (src, payload) :: inboxes.(dst))
+        msgs)
+    outboxes;
+  (inboxes, !words)
+
+let route ~n ~width ?check msgs =
+  let sent = Array.make n 0 in
+  let received = Array.make n 0 in
+  let inboxes = Array.make n [] in
+  let words = ref 0 in
+  List.iter
+    (fun (src, dst, payload) ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Mailbox.route: endpoint out of range";
+      (match check with Some f -> f ~src ~dst | None -> ());
+      let w = Array.length payload in
+      if w > width then raise (Bandwidth_exceeded { src; dst; words = w });
+      sent.(src) <- sent.(src) + w;
+      received.(dst) <- received.(dst) + w;
+      words := !words + w;
+      inboxes.(dst) <- (src, payload) :: inboxes.(dst))
+    msgs;
+  let max_load = ref 0 in
+  for v = 0 to n - 1 do
+    max_load := max !max_load (max sent.(v) received.(v))
+  done;
+  let capacity = n * width in
+  let batches = max 1 ((!max_load + capacity - 1) / capacity) in
+  (inboxes, !words, batches)
+
+let broadcast ~n ~width values =
+  if Array.length values <> n then
+    invalid_arg "Mailbox.broadcast: values array length mismatch";
+  let words = ref 0 in
+  Array.iteri
+    (fun src payload ->
+      let w = Array.length payload in
+      if w > width then raise (Bandwidth_exceeded { src; dst = -1; words = w });
+      words := !words + ((n - 1) * w))
+    values;
+  (Array.copy values, !words)

@@ -1,0 +1,41 @@
+(** Shared delivery and bandwidth-check core of every {!Transport.S}
+    instance. The kernels ([Sim], [Congest]) differ only in which ordered
+    pairs may talk — expressed through the [?check] callback — and in how
+    they count rounds; the per-pair word accounting, load computation, and
+    batching arithmetic live here exactly once. *)
+
+exception Bandwidth_exceeded of { src : int; dst : int; words : int }
+(** A round would carry more than [width] words over the ordered pair
+    [(src, dst)] ([dst = -1] for a broadcast payload that is itself too
+    wide). *)
+
+val deliver :
+  n:int ->
+  width:int ->
+  ?check:(src:int -> dst:int -> unit) ->
+  (int * int array) list array ->
+  (int * int array) list array * int
+(** [deliver ~n ~width outboxes] performs one round's worth of delivery:
+    validates destinations, runs [check] on every (src, dst) pair (the hook
+    where [Congest] rejects non-edges), enforces that the words accumulated
+    over each ordered pair stay ≤ [width], and returns
+    [(inboxes, total_words)]. *)
+
+val route :
+  n:int ->
+  width:int ->
+  ?check:(src:int -> dst:int -> unit) ->
+  (int * int * int array) list ->
+  (int * int array) list array * int * int
+(** [route ~n ~width msgs] delivers an arbitrary [(src, dst, payload)]
+    multiset and returns [(inboxes, total_words, batches)] where
+    [batches = max 1 ⌈load / (n·width)⌉] and [load] is the maximum number of
+    words any single node sends or receives. A single payload wider than
+    [width] words does not fit any message and raises
+    {!Bandwidth_exceeded}. *)
+
+val broadcast :
+  n:int -> width:int -> int array array -> int array array * int
+(** [broadcast ~n ~width values] checks every [values.(v)] fits in [width]
+    words and returns [(copy of values, total_words)] with
+    [total_words = Σ (n-1)·|values.(v)|]. *)

@@ -1,0 +1,155 @@
+module Cost = Cost
+module Trace = Trace
+module Mailbox = Mailbox
+
+module type TRANSPORT = Transport.S
+
+module type S = sig
+  type transport
+
+  type t
+
+  val kernel : string
+
+  val create : ?phase:string -> ?trace_capacity:int -> transport -> t
+
+  val transport : t -> transport
+
+  val n : t -> int
+
+  val ledger : t -> Cost.t
+
+  val trace : t -> Trace.t
+
+  val rounds : t -> int
+
+  val words : t -> int
+
+  val phases : t -> (string * int) list
+
+  val phase_rounds : t -> string -> int
+
+  val current_phase : t -> string
+
+  val set_phase : t -> string -> unit
+
+  val with_phase : t -> string -> (unit -> 'a) -> 'a
+
+  val on_round : t -> (phase:string -> rounds:int -> words:int -> unit) -> unit
+
+  val exchange :
+    ?width:int ->
+    t ->
+    (int * int array) list array ->
+    (int * int array) list array
+
+  val route :
+    ?width:int ->
+    t ->
+    (int * int * int array) list ->
+    (int * int array) list array
+
+  val broadcast : ?width:int -> t -> int array array -> int array array
+
+  val charge : ?phase:string -> t -> int -> unit
+
+  val report : t -> string
+end
+
+module Make (T : TRANSPORT) = struct
+  type transport = T.t
+
+  type t = {
+    tr : T.t;
+    ledger : Cost.t;
+    trace : Trace.t;
+    mutable phase : string;
+    mutable words : int;
+    mutable hooks : (phase:string -> rounds:int -> words:int -> unit) list;
+  }
+
+  let kernel = T.name
+
+  let create ?(phase = "main") ?(trace_capacity = 256) tr =
+    {
+      tr;
+      ledger = Cost.create ();
+      trace = Trace.create trace_capacity;
+      phase;
+      words = 0;
+      hooks = [];
+    }
+
+  let transport t = t.tr
+
+  let n t = T.n t.tr
+
+  let ledger t = t.ledger
+
+  let trace t = t.trace
+
+  let rounds t = Cost.rounds t.ledger
+
+  let words t = t.words
+
+  let phases t = Cost.phases t.ledger
+
+  let phase_rounds t phase = Cost.phase_rounds t.ledger phase
+
+  let current_phase t = t.phase
+
+  let set_phase t phase = t.phase <- phase
+
+  let with_phase t phase f =
+    let saved = t.phase in
+    t.phase <- phase;
+    Fun.protect ~finally:(fun () -> t.phase <- saved) f
+
+  let on_round t hook = t.hooks <- t.hooks @ [ hook ]
+
+  let observe t ~phase ~rounds ~words =
+    Cost.charge t.ledger ~phase rounds;
+    t.words <- t.words + words;
+    if rounds > 0 || words > 0 then begin
+      Trace.record t.trace ~phase ~rounds ~words;
+      List.iter (fun hook -> hook ~phase ~rounds ~words) t.hooks
+    end
+
+  (* Every communication call is measured against the transport's own
+     counters, so measured and charged rounds land in the same ledger. *)
+  let wrap t f =
+    let r0 = T.rounds t.tr and w0 = T.words_sent t.tr in
+    let result = f () in
+    observe t ~phase:t.phase ~rounds:(T.rounds t.tr - r0)
+      ~words:(T.words_sent t.tr - w0);
+    result
+
+  let exchange ?width t outboxes =
+    wrap t (fun () -> T.exchange ?width t.tr outboxes)
+
+  let route ?width t msgs = wrap t (fun () -> T.route ?width t.tr msgs)
+
+  let broadcast ?width t values =
+    wrap t (fun () -> T.broadcast ?width t.tr values)
+
+  let charge ?phase t r =
+    let phase = match phase with Some p -> p | None -> t.phase in
+    T.charge t.tr r;
+    observe t ~phase ~rounds:r ~words:0
+
+  let report t =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "[%s n=%d] rounds=%d words=%d" kernel (n t) (rounds t)
+         (words t));
+    List.iter
+      (fun (phase, r) ->
+        Buffer.add_string buf (Printf.sprintf "\n  %-14s %8d" phase r))
+      (phases t);
+    let hist = Format.asprintf "%a" Trace.pp_histogram t.trace in
+    if hist <> "" then begin
+      Buffer.add_string buf "\n  trace histogram (rounds per event):\n  ";
+      Buffer.add_string buf (String.concat "\n  " (String.split_on_char '\n' hist))
+    end;
+    Buffer.contents buf
+end

@@ -1,0 +1,98 @@
+(** One communication substrate for every layer of the reproduction.
+
+    The congested clique measures complexity in synchronous rounds (§2.1).
+    This library defines the {!TRANSPORT} signature a message kernel must
+    implement (the clique itself and its CONGEST sibling live in
+    [lib/clique]), and the {!Make} functor that turns a transport into a
+    {e runtime}: every communication call and every analytic charge flows
+    through a single phase-tagged {!Cost.t} ledger, is recorded in a
+    {!Trace.t} ring buffer, and is reported to any registered
+    [on_round] observers. Node programs written against {!S} run unchanged
+    on every kernel and always produce the same per-phase round
+    breakdown. *)
+
+module Cost = Cost
+module Trace = Trace
+module Mailbox = Mailbox
+
+module type TRANSPORT = Transport.S
+
+(** The runtime interface node programs and charged layers are written
+    against. *)
+module type S = sig
+  type transport
+  (** The underlying kernel state. *)
+
+  type t
+
+  val kernel : string
+  (** The transport's {!Transport.S.name}. *)
+
+  val create : ?phase:string -> ?trace_capacity:int -> transport -> t
+  (** A fresh runtime (empty ledger and trace) over an existing transport.
+      [phase] (default ["main"]) is the initial ledger tag;
+      [trace_capacity] (default 256) bounds the event ring. *)
+
+  val transport : t -> transport
+
+  val n : t -> int
+
+  val ledger : t -> Cost.t
+  (** The single cost ledger all calls charge into. *)
+
+  val trace : t -> Trace.t
+
+  val rounds : t -> int
+  (** Total rounds this runtime has charged (= ledger total). *)
+
+  val words : t -> int
+  (** Total words sent through this runtime. *)
+
+  val phases : t -> (string * int) list
+  (** Per-phase round totals, sorted by phase name. *)
+
+  val phase_rounds : t -> string -> int
+
+  val current_phase : t -> string
+
+  val set_phase : t -> string -> unit
+
+  val with_phase : t -> string -> (unit -> 'a) -> 'a
+  (** [with_phase t p f] runs [f] with the current phase set to [p],
+      restoring the previous phase afterwards (also on exceptions). *)
+
+  val on_round : t -> (phase:string -> rounds:int -> words:int -> unit) -> unit
+  (** Register an observer called after every call that moved rounds or
+      words (communication and analytic charges alike). *)
+
+  val exchange :
+    ?width:int ->
+    t ->
+    (int * int array) list array ->
+    (int * int array) list array
+  (** {!Transport.S.exchange}, measured into the ledger under the current
+      phase. *)
+
+  val route :
+    ?width:int ->
+    t ->
+    (int * int * int array) list ->
+    (int * int array) list array
+  (** {!Transport.S.route}, measured into the ledger. *)
+
+  val broadcast : ?width:int -> t -> int array array -> int array array
+  (** {!Transport.S.broadcast}, measured into the ledger. *)
+
+  val charge : ?phase:string -> t -> int -> unit
+  (** [charge ?phase t r] adds [r] analytically-derived rounds under
+      [phase] (default: the current phase), advancing the transport's
+      counter too so measured and charged totals agree. [r ≥ 0]. *)
+
+  val report : t -> string
+  (** Human-readable summary: kernel, totals, per-phase breakdown, and the
+      trace's per-phase event-size histogram. *)
+end
+
+module Make (T : TRANSPORT) : S with type transport = T.t
+(** The functor is applicative: [Make (Sim)] names the same types wherever
+    it is applied, so instances can be shared across modules. *)

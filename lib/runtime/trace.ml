@@ -1,0 +1,61 @@
+type event = { seq : int; phase : string; rounds : int; words : int }
+
+type t = {
+  capacity : int;
+  mutable events : event array;  (* allocated lazily, length = capacity *)
+  mutable count : int;  (* events ever recorded; buffer keeps the tail *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Trace.create: need capacity > 0";
+  { capacity; events = [||]; count = 0 }
+
+let capacity t = t.capacity
+
+let recorded t = t.count
+
+let record t ~phase ~rounds ~words =
+  let e = { seq = t.count; phase; rounds; words } in
+  if Array.length t.events = 0 then t.events <- Array.make t.capacity e;
+  t.events.(t.count mod t.capacity) <- e;
+  t.count <- t.count + 1
+
+let to_list t =
+  let k = min t.count t.capacity in
+  List.init k (fun i -> t.events.((t.count - k + i) mod t.capacity))
+
+let buckets = 16
+
+let bucket rounds =
+  if rounds <= 0 then 0
+  else min (buckets - 1) (Cost.log2_ceil (rounds + 1))
+
+let histogram t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let h =
+        match Hashtbl.find_opt tbl e.phase with
+        | Some h -> h
+        | None ->
+          let h = Array.make buckets 0 in
+          Hashtbl.replace tbl e.phase h;
+          h
+      in
+      let b = bucket e.rounds in
+      h.(b) <- h.(b) + 1)
+    (to_list t);
+  Hashtbl.fold (fun phase h acc -> (phase, h) :: acc) tbl []
+  |> List.sort compare
+
+let pp_histogram fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i (phase, h) ->
+      if i > 0 then Format.fprintf fmt "@,";
+      Format.fprintf fmt "%-14s" phase;
+      Array.iteri
+        (fun b c -> if c > 0 then Format.fprintf fmt " 2^%d:%d" b c)
+        h)
+    (histogram t);
+  Format.fprintf fmt "@]"

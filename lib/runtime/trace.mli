@@ -1,0 +1,34 @@
+(** Observability for the runtime: a bounded ring buffer of communication
+    events plus a per-phase histogram of event sizes.
+
+    Every communication call and every analytic charge that goes through a
+    {!Runtime.Make} instance records one event here (phase, rounds, words).
+    The buffer keeps the most recent [capacity] events — enough to see what
+    a phase is doing without ever growing with the computation. *)
+
+type event = { seq : int; phase : string; rounds : int; words : int }
+(** [seq] is the global event index (monotonically increasing even after
+    the ring wraps). *)
+
+type t
+
+val create : int -> t
+(** [create capacity] — a ring keeping the last [capacity] events.
+    Raises [Invalid_argument] if [capacity ≤ 0]. *)
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Events ever recorded (may exceed {!capacity}). *)
+
+val record : t -> phase:string -> rounds:int -> words:int -> unit
+
+val to_list : t -> event list
+(** Retained events, oldest first. *)
+
+val histogram : t -> (string * int array) list
+(** Per phase (sorted by name), a histogram over retained events: bucket
+    [b ≥ 1] counts events whose round cost is in [[2^{b-1}, 2^b)]; bucket 0
+    counts zero-round events (pure word traffic). *)
+
+val pp_histogram : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** The [TRANSPORT] signature: what a message kernel must provide so that
+    {!Runtime.Make} can drive node programs on it and account for every
+    round in one ledger.
+
+    Two instances live in [lib/clique]: [Sim] (the congested clique itself —
+    all ordered pairs may talk) and [Congest] (the topology-restricted
+    sibling — messages only along graph edges). Both enforce bandwidth
+    through the shared {!Mailbox} and raise
+    {!Mailbox.Bandwidth_exceeded} when a round would carry more than
+    [width] words over one ordered pair. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Kernel name for reports ("clique", "congest"). *)
+
+  val n : t -> int
+  (** Number of nodes. *)
+
+  val rounds : t -> int
+  (** Rounds elapsed on this transport so far (measured + charged). *)
+
+  val words_sent : t -> int
+  (** Total words ever sent (message-complexity measure). *)
+
+  val exchange :
+    ?width:int ->
+    t ->
+    (int * int array) list array ->
+    (int * int array) list array
+  (** One synchronous round: [outboxes.(v)] is node [v]'s [(dst, payload)]
+      list; the result is the inboxes, [(src, payload)] per node. At most
+      [width] words (default 2) per ordered pair. *)
+
+  val route :
+    ?width:int ->
+    t ->
+    (int * int * int array) list ->
+    (int * int array) list array
+  (** Lenzen routing of an arbitrary [(src, dst, payload)] multiset;
+      [⌈load / (n·width)⌉] batches of {!Cost.lenzen_routing_rounds} rounds
+      where [load] is the max words any node sends or receives. *)
+
+  val broadcast : ?width:int -> t -> int array array -> int array array
+  (** Every node sends [values.(v)] (at most [width] words) to all others;
+      returns the shared global view. One round. *)
+
+  val charge : t -> int -> unit
+  (** Advance the round counter without communication (a node-local stand-in
+      for a subroutine whose rounds are charged analytically). *)
+end

@@ -19,10 +19,10 @@ let complete g =
   done;
   Graph.create n !acc
 
-let default_degree n = 3 + Clique.Cost.log2_ceil (max n 2)
+let default_degree n = 3 + Runtime.Cost.log2_ceil (max n 2)
 
 let edge_count_bound ~n ~degree =
-  let classes = Clique.Cost.log2_ceil (max n 2) + 2 in
+  let classes = Runtime.Cost.log2_ceil (max n 2) + 2 in
   (n * degree) + (classes * classes * degree)
 
 (* Offsets 1, 2, 4, ... — the same deterministic circulant family as

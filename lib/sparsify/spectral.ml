@@ -5,6 +5,7 @@ type result = {
   levels : int;
   classes : int;
   rounds : int;
+  phase_rounds : (string * int) list;
 }
 
 let weight_class w = int_of_float (Float.floor (Float.log2 w))
@@ -41,7 +42,7 @@ let sparsify ?(phi = 0.05) ?(gamma = 0.25) ?max_levels ?(backend = Buckets) g =
   let max_levels =
     match max_levels with
     | Some k -> k
-    | None -> (4 * Clique.Cost.log2_ceil (max m 2)) + 4
+    | None -> (4 * Runtime.Cost.log2_ceil (max m 2)) + 4
   in
   (* Binary weight classes (the log U factor of Theorem 3.3). *)
   let class_tbl = Hashtbl.create 8 in
@@ -55,7 +56,7 @@ let sparsify ?(phi = 0.05) ?(gamma = 0.25) ?max_levels ?(backend = Buckets) g =
     Hashtbl.fold (fun c ids acc -> (c, List.rev ids) :: acc) class_tbl []
     |> List.sort compare
   in
-  let rounds = ref 0 in
+  let rt = Clique.Kernel.clique (max 1 n) in
   let max_level_used = ref 0 in
   let sparsifier_edges = ref [] in
   List.iter
@@ -66,7 +67,8 @@ let sparsify ?(phi = 0.05) ?(gamma = 0.25) ?max_levels ?(backend = Buckets) g =
         incr level;
         max_level_used := max !max_level_used !level;
         let d = Expander.Decomposition.decompose ~phi ~gamma !current in
-        rounds := !rounds + d.Expander.Decomposition.rounds + Clique.Cost.broadcast_rounds;
+        Clique.Kernel.charge rt ~phase:"decompose"
+          (d.Expander.Decomposition.rounds + Runtime.Cost.broadcast_rounds);
         List.iter
           (fun vs ->
             let sub, _ = Graph.induced !current vs in
@@ -84,27 +86,28 @@ let sparsify ?(phi = 0.05) ?(gamma = 0.25) ?max_levels ?(backend = Buckets) g =
   (* Make the sparsifier globally known: gather all its edges everywhere. *)
   let u = Float.max 1. (Graph.max_weight g) in
   let bits_per_edge =
-    (3 * Clique.Cost.log2_ceil (max n 2))
-    + Clique.Cost.log2_ceil (int_of_float (Float.ceil u) + 1)
+    (3 * Runtime.Cost.log2_ceil (max n 2))
+    + Runtime.Cost.log2_ceil (int_of_float (Float.ceil u) + 1)
   in
-  rounds :=
-    !rounds + Clique.Cost.gather_rounds ~n ~m:(Graph.m h) ~bits_per_edge;
+  Clique.Kernel.charge rt ~phase:"gather"
+    (Runtime.Cost.gather_rounds ~n ~m:(Graph.m h) ~bits_per_edge);
   {
     sparsifier = h;
     levels = !max_level_used;
     classes = List.length class_list;
-    rounds = !rounds;
+    rounds = Clique.Kernel.rounds rt;
+    phase_rounds = Clique.Kernel.phases rt;
   }
 
 let size_bound ~n ~u =
-  let logn = Clique.Cost.log2_ceil (max n 2) in
-  let logu = 1 + Clique.Cost.log2_ceil (int_of_float (Float.ceil u) + 1) in
+  let logn = Runtime.Cost.log2_ceil (max n 2) in
+  let logu = 1 + Runtime.Cost.log2_ceil (int_of_float (Float.ceil u) + 1) in
   (* Per weight class and level: O(n · degree) cluster edges with
      degree = O(log n); levels = O(log m) = O(log n). *)
   32 * n * (logn + 4) * (logn + 4) * logu
 
 let rounds_bound ~n ~u ~gamma =
-  let logn = Clique.Cost.log2_ceil (max n 2) in
-  let logu = 1 + Clique.Cost.log2_ceil (int_of_float (Float.ceil u) + 1) in
+  let logn = Runtime.Cost.log2_ceil (max n 2) in
+  let logu = 1 + Runtime.Cost.log2_ceil (int_of_float (Float.ceil u) + 1) in
   let per_call = Expander.Decomposition.rounds_formula ~n ~gamma in
   (4 * (logn + 1) * logu * (per_call + 1)) + (8 * (logn + 4) * (logn + 4) * logu)

@@ -22,6 +22,9 @@ type result = {
   levels : int;  (** decomposition recursion depth actually used *)
   classes : int;  (** number of binary weight classes (the [log U] factor) *)
   rounds : int;  (** charged congested-clique rounds *)
+  phase_rounds : (string * int) list;
+      (** ledger breakdown: ["decompose"] (all decomposition calls and their
+          result broadcasts) and ["gather"] (making the sparsifier global) *)
 }
 
 val sparsify :

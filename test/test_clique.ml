@@ -46,7 +46,7 @@ let test_route_within_lenzen_bound () =
     done
   done;
   let inboxes = Clique.Sim.route sim !msgs in
-  Alcotest.(check int) "constant rounds" Clique.Cost.lenzen_routing_rounds
+  Alcotest.(check int) "constant rounds" Runtime.Cost.lenzen_routing_rounds
     (Clique.Sim.rounds sim);
   Alcotest.(check int) "everyone hears n-1" (n - 1) (List.length inboxes.(0))
 
@@ -60,7 +60,7 @@ let test_route_overload_charges_batches () =
     msgs := (1, 0, [| 5 |]) :: !msgs
   done;
   ignore (Clique.Sim.route sim !msgs);
-  Alcotest.(check int) "3 batches" (3 * Clique.Cost.lenzen_routing_rounds)
+  Alcotest.(check int) "3 batches" (3 * Runtime.Cost.lenzen_routing_rounds)
     (Clique.Sim.rounds sim)
 
 let test_broadcast () =
@@ -71,49 +71,49 @@ let test_broadcast () =
   Alcotest.(check int) "global view" 16 view.(4).(0)
 
 let test_cost_phases () =
-  let c = Clique.Cost.create () in
-  Clique.Cost.charge c ~phase:"a" 3;
-  Clique.Cost.charge c ~phase:"b" 4;
-  Clique.Cost.charge c ~phase:"a" 2;
-  Alcotest.(check int) "total" 9 (Clique.Cost.rounds c);
-  Alcotest.(check int) "phase a" 5 (Clique.Cost.phase_rounds c "a");
+  let c = Runtime.Cost.create () in
+  Runtime.Cost.charge c ~phase:"a" 3;
+  Runtime.Cost.charge c ~phase:"b" 4;
+  Runtime.Cost.charge c ~phase:"a" 2;
+  Alcotest.(check int) "total" 9 (Runtime.Cost.rounds c);
+  Alcotest.(check int) "phase a" 5 (Runtime.Cost.phase_rounds c "a");
   Alcotest.(check (list (pair string int)))
     "phases sorted"
     [ ("a", 5); ("b", 4) ]
-    (Clique.Cost.phases c);
-  let d = Clique.Cost.create () in
-  Clique.Cost.merge_into c d;
-  Alcotest.(check int) "merged" 9 (Clique.Cost.rounds d);
-  Clique.Cost.reset c;
-  Alcotest.(check int) "reset" 0 (Clique.Cost.rounds c)
+    (Runtime.Cost.phases c);
+  let d = Runtime.Cost.create () in
+  Runtime.Cost.merge_into c d;
+  Alcotest.(check int) "merged" 9 (Runtime.Cost.rounds d);
+  Runtime.Cost.reset c;
+  Alcotest.(check int) "reset" 0 (Runtime.Cost.rounds c)
 
 let test_cost_rejects_negative () =
-  let c = Clique.Cost.create () in
+  let c = Runtime.Cost.create () in
   Alcotest.(check bool) "raises" true
     (try
-       Clique.Cost.charge c ~phase:"x" (-1);
+       Runtime.Cost.charge c ~phase:"x" (-1);
        false
      with Invalid_argument _ -> true)
 
 let test_log2_ceil () =
-  Alcotest.(check int) "1" 0 (Clique.Cost.log2_ceil 1);
-  Alcotest.(check int) "2" 1 (Clique.Cost.log2_ceil 2);
-  Alcotest.(check int) "3" 2 (Clique.Cost.log2_ceil 3);
-  Alcotest.(check int) "1024" 10 (Clique.Cost.log2_ceil 1024);
-  Alcotest.(check int) "1025" 11 (Clique.Cost.log2_ceil 1025)
+  Alcotest.(check int) "1" 0 (Runtime.Cost.log2_ceil 1);
+  Alcotest.(check int) "2" 1 (Runtime.Cost.log2_ceil 2);
+  Alcotest.(check int) "3" 2 (Runtime.Cost.log2_ceil 3);
+  Alcotest.(check int) "1024" 10 (Runtime.Cost.log2_ceil 1024);
+  Alcotest.(check int) "1025" 11 (Runtime.Cost.log2_ceil 1025)
 
 let test_apsp_rounds () =
   (* ⌈n^0.158⌉: sublinear and monotone. *)
   Alcotest.(check bool) "monotone" true
-    (Clique.Cost.apsp_rounds 10000 >= Clique.Cost.apsp_rounds 100);
-  Alcotest.(check bool) "tiny" true (Clique.Cost.apsp_rounds 100 <= 3);
-  Alcotest.(check bool) "sublinear" true (Clique.Cost.apsp_rounds 100000 <= 7)
+    (Runtime.Cost.apsp_rounds 10000 >= Runtime.Cost.apsp_rounds 100);
+  Alcotest.(check bool) "tiny" true (Runtime.Cost.apsp_rounds 100 <= 3);
+  Alcotest.(check bool) "sublinear" true (Runtime.Cost.apsp_rounds 100000 <= 7)
 
 let test_gather_rounds_scaling () =
   (* Gathering m = n²/4 edges at every node costs ≈ n/4 · words rounds:
      linear in n — this is what makes the trivial algorithm O(n log U). *)
-  let r1 = Clique.Cost.gather_rounds ~n:100 ~m:2500 ~bits_per_edge:28 in
-  let r2 = Clique.Cost.gather_rounds ~n:200 ~m:10000 ~bits_per_edge:30 in
+  let r1 = Runtime.Cost.gather_rounds ~n:100 ~m:2500 ~bits_per_edge:28 in
+  let r2 = Runtime.Cost.gather_rounds ~n:200 ~m:10000 ~bits_per_edge:30 in
   Alcotest.(check bool)
     (Printf.sprintf "%d -> %d roughly doubles" r1 r2)
     true
@@ -137,11 +137,11 @@ let qcheck_tests =
       (list_of_size (Gen.int_range 0 20)
          (pair (string_gen_of_size (Gen.return 2) Gen.printable) (int_range 0 50)))
       (fun charges ->
-        let c = Clique.Cost.create () in
-        List.iter (fun (p, r) -> Clique.Cost.charge c ~phase:p r) charges;
-        Clique.Cost.rounds c
+        let c = Runtime.Cost.create () in
+        List.iter (fun (p, r) -> Runtime.Cost.charge c ~phase:p r) charges;
+        Runtime.Cost.rounds c
         = List.fold_left (fun a (_, r) -> a + r) 0
-            (Clique.Cost.phases c));
+            (Runtime.Cost.phases c));
   ]
 
 let suite =

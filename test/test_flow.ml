@@ -54,7 +54,7 @@ let test_ff_round_charging () =
   Alcotest.(check bool) "rounds = (iters+1)·n^0.158" true
     (r.Ford_fulkerson.rounds
     = (r.Ford_fulkerson.iterations + 1)
-      * Clique.Cost.apsp_rounds (Digraph.n g))
+      * Runtime.Cost.apsp_rounds (Digraph.n g))
 
 let test_trivial_baseline () =
   let g = clrs () in

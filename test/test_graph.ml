@@ -162,6 +162,12 @@ let ring_arrays k =
   let pred = Array.init k (fun i -> (i + k - 1) mod k) in
   (succ, pred)
 
+(* The coloring chain is a node program now; run it on a fresh clique
+   runtime (the communication schedule is exercised by test_runtime). *)
+let three_color ~ids ~succ ~pred =
+  let rt = Clique.Kernel.clique (Array.length ids) in
+  Clique.Kernel.Sim_programs.three_color rt ~ids ~succ ~pred
+
 let test_cv_three_coloring_ring () =
   List.iter
     (fun k ->
@@ -174,7 +180,7 @@ let test_cv_three_coloring_ring () =
           if Hashtbl.mem seen id then ids.(i) <- 104729 + i;
           Hashtbl.replace seen ids.(i) ())
         ids;
-      let colors, rounds = Coloring.three_color ~ids ~succ ~pred in
+      let colors, rounds = three_color ~ids ~succ ~pred in
       Alcotest.(check bool)
         (Printf.sprintf "proper on ring %d" k)
         true
@@ -191,7 +197,7 @@ let test_cv_three_coloring_ring () =
 
 let test_cv_two_cycle () =
   let succ = [| 1; 0 |] and pred = [| 1; 0 |] in
-  let colors, _ = Coloring.three_color ~ids:[| 17; 4 |] ~succ ~pred in
+  let colors, _ = three_color ~ids:[| 17; 4 |] ~succ ~pred in
   Alcotest.(check bool) "distinct" true (colors.(0) <> colors.(1))
 
 let test_cv_matching_maximal_on_ring () =
@@ -199,7 +205,7 @@ let test_cv_matching_maximal_on_ring () =
     (fun k ->
       let succ, pred = ring_arrays k in
       let ids = Array.init k (fun i -> i) in
-      let colors, _ = Coloring.three_color ~ids ~succ ~pred in
+      let colors, _ = three_color ~ids ~succ ~pred in
       let matched = Coloring.maximal_matching_on_cycles ~colors ~succ ~pred in
       (* No two adjacent matched edges: matched.(i) implies not
          matched.(succ i). *)
@@ -272,7 +278,7 @@ let qcheck_tests =
         let succ = Array.init k (fun i -> (i + 1) mod k) in
         let pred = Array.init k (fun i -> (i + k - 1) mod k) in
         let ids = Array.init k (fun i -> (i * 31) + 7) in
-        let colors, _ = Coloring.three_color ~ids ~succ ~pred in
+        let colors, _ = three_color ~ids ~succ ~pred in
         Coloring.is_proper colors ~succ
         && Array.for_all (fun c -> c >= 0 && c <= 2) colors);
   ]

@@ -177,6 +177,74 @@ let test_mst_of_sparsifier () =
   let mst = Core.minimum_spanning_tree h in
   Alcotest.(check int) "spans" 49 (List.length mst.Clique.Boruvka.edges)
 
+(* Round-count parity with the pre-runtime seed: after the functorized
+   Runtime refactor every experiment must report exactly the same totals
+   as the original per-module ledgers, and the per-phase breakdown must
+   always sum to the total. The constants below are the seed bench
+   outputs for one representative instance per experiment family. *)
+let phase_sum ps = List.fold_left (fun a (_, r) -> a + r) 0 ps
+
+let check_total_and_phases name expected rounds phase_rounds =
+  Alcotest.(check int) (name ^ " rounds match seed") expected rounds;
+  Alcotest.(check int) (name ^ " phases sum to total") rounds
+    (phase_sum phase_rounds)
+
+let test_seed_round_parity_sparsify () =
+  let r =
+    Sparsify.Spectral.sparsify (Graph_gen.connected_gnp ~seed:3L 40 0.5)
+  in
+  check_total_and_phases "E1 n=40 u=1" 84 r.Sparsify.Spectral.rounds
+    r.Sparsify.Spectral.phase_rounds;
+  let r =
+    Sparsify.Spectral.sparsify (Graph_gen.weighted_gnp ~seed:3L 60 0.5 16)
+  in
+  check_total_and_phases "E1 n=60 u=16" 251 r.Sparsify.Spectral.rounds
+    r.Sparsify.Spectral.phase_rounds
+
+let test_seed_round_parity_solver () =
+  let n = 30 in
+  let g = Graph_gen.connected_gnp ~seed:7L n 0.3 in
+  let b = Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1)) in
+  let r = Laplacian.Solver.solve ~eps:1e-6 g b in
+  check_total_and_phases "E2 n=30" 157 r.Laplacian.Solver.rounds
+    r.Laplacian.Solver.phase_rounds
+
+let test_seed_round_parity_orientation () =
+  List.iter
+    (fun (n, expected) ->
+      let g = Graph_gen.cycle_union ~seed:5L n (max 3 (n / 16)) in
+      let r = Euler.Orientation.orient g in
+      check_total_and_phases
+        (Printf.sprintf "E3 n=%d" n)
+        expected r.Euler.Orientation.rounds r.Euler.Orientation.phase_rounds)
+    [ (64, 264); (256, 358) ]
+
+let test_seed_round_parity_rounding () =
+  let g = Graph_gen.layered_network ~seed:11L 4 4 6 in
+  let t = Digraph.n g - 1 in
+  let f, _ = Dinic.max_flow g ~s:0 ~t in
+  let delta = 0.25 in
+  let frac = Array.map (fun x -> 2. /. 3. *. x) f in
+  let items = Decompose.decompose g ~s:0 ~t frac in
+  let q = Decompose.accumulate g (Decompose.quantize_paths ~delta items) in
+  let r = Rounding.Flow_rounding.round g ~s:0 ~t ~delta q in
+  check_total_and_phases "E4 k=2" 304 r.Rounding.Flow_rounding.rounds
+    r.Rounding.Flow_rounding.phase_rounds
+
+let test_seed_round_parity_maxflow () =
+  let g = Graph_gen.layered_network ~seed:13L 2 4 8 in
+  let r = Maxflow_ipm.max_flow g ~s:0 ~t:(Digraph.n g - 1) in
+  check_total_and_phases "E5 layers=2" 1931 r.Maxflow_ipm.rounds
+    r.Maxflow_ipm.phase_rounds
+
+let test_seed_round_parity_mcf () =
+  let g, sigma = Graph_gen.random_mcf ~seed:17L 8 16 10 in
+  match Mcf_ipm.solve g ~sigma with
+  | None -> Alcotest.fail "seed instance must be feasible"
+  | Some r ->
+    check_total_and_phases "E6 m=16" 1201 r.Mcf_ipm.rounds
+      r.Mcf_ipm.phase_rounds
+
 (* Determinism: the whole Theorem 1.2 pipeline is bit-for-bit repeatable. *)
 let test_pipeline_determinism () =
   let g = Graph_gen.layered_network ~seed:11L 3 3 5 in
@@ -209,4 +277,16 @@ let suite =
       test_core_min_cost_max_flow;
     Alcotest.test_case "mst of sparsifier" `Quick test_mst_of_sparsifier;
     Alcotest.test_case "pipeline determinism" `Quick test_pipeline_determinism;
+    Alcotest.test_case "seed round parity: sparsifier (E1)" `Quick
+      test_seed_round_parity_sparsify;
+    Alcotest.test_case "seed round parity: solver (E2)" `Quick
+      test_seed_round_parity_solver;
+    Alcotest.test_case "seed round parity: orientation (E3)" `Quick
+      test_seed_round_parity_orientation;
+    Alcotest.test_case "seed round parity: rounding (E4)" `Quick
+      test_seed_round_parity_rounding;
+    Alcotest.test_case "seed round parity: maxflow (E5)" `Quick
+      test_seed_round_parity_maxflow;
+    Alcotest.test_case "seed round parity: mcf (E6)" `Quick
+      test_seed_round_parity_mcf;
   ]

@@ -4,6 +4,7 @@ let () =
       ("linalg", Test_linalg.suite);
       ("graph", Test_graph.suite);
       ("clique", Test_clique.suite);
+      ("runtime", Test_runtime.suite);
       ("expander", Test_expander.suite);
       ("sparsify", Test_sparsify.suite);
       ("laplacian", Test_laplacian.suite);

@@ -177,7 +177,7 @@ let test_mcmf_matches_ssp () =
     Alcotest.(check (float 1e-6)) "min cost at max value" c_oracle
       r.Mcf_ipm.cost;
     Alcotest.(check bool) "binary search logarithmic" true
-      (probes <= 2 + Clique.Cost.log2_ceil (v_oracle + 2) * 2)
+      (probes <= 2 + Runtime.Cost.log2_ceil (v_oracle + 2) * 2)
 
 let test_mcmf_with_costs () =
   let g =

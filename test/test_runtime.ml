@@ -1,0 +1,254 @@
+(* Tests for the functorized runtime layer: bandwidth enforcement on both
+   transports, route batching arithmetic at the capacity boundary, the
+   ledger/trace/observer plumbing, and cross-kernel parity of the generic
+   node programs. *)
+
+module K = Clique.Kernel
+
+let raises_bandwidth f =
+  try
+    ignore (f ());
+    false
+  with Runtime.Mailbox.Bandwidth_exceeded _ -> true
+
+(* ----------------------------------------- bandwidth on both transports *)
+
+let test_sim_exchange_bandwidth () =
+  let sim = Clique.Sim.create 3 in
+  Alcotest.(check bool) "payload of 3 words raises" true
+    (raises_bandwidth (fun () ->
+         Clique.Sim.exchange sim [| [ (1, [| 1; 2; 3 |]) ]; []; [] |]));
+  Alcotest.(check bool) "wider width accepts it" true
+    (Array.length
+       (Clique.Sim.exchange ~width:3 sim [| [ (1, [| 1; 2; 3 |]) ]; []; [] |])
+    = 3)
+
+let test_sim_broadcast_bandwidth () =
+  let sim = Clique.Sim.create 3 in
+  (* Satellite fix: broadcast enforces the width like exchange does. *)
+  Alcotest.(check bool) "3-word broadcast payload raises" true
+    (raises_bandwidth (fun () ->
+         Clique.Sim.broadcast sim [| [| 1; 2; 3 |]; [| 0 |]; [| 0 |] |]));
+  let view =
+    Clique.Sim.broadcast ~width:3 sim [| [| 1; 2; 3 |]; [| 0 |]; [| 0 |] |]
+  in
+  Alcotest.(check int) "explicit width accepts" 3 (Array.length view.(0));
+  Alcotest.(check int) "words counted" (2 * (3 + 1 + 1))
+    (Clique.Sim.words_sent sim)
+
+let test_sim_route_bandwidth () =
+  let sim = Clique.Sim.create 3 in
+  (* A single message wider than [width] fits no round of any batch. *)
+  Alcotest.(check bool) "3-word routed payload raises" true
+    (raises_bandwidth (fun () ->
+         Clique.Sim.route sim [ (0, 1, [| 1; 2; 3 |]) ]));
+  ignore (Clique.Sim.route ~width:3 sim [ (0, 1, [| 1; 2; 3 |]) ])
+
+let congest_pair () =
+  (* Path 0-1-2: pair (0,1) is an edge, (0,2) is not. *)
+  Clique.Congest.create (Gen.path 3)
+
+let test_congest_exchange_bandwidth_and_edges () =
+  let c = congest_pair () in
+  Alcotest.(check bool) "3 words over an edge raises" true
+    (raises_bandwidth (fun () ->
+         Clique.Congest.exchange c [| [ (1, [| 1; 2; 3 |]) ]; []; [] |]));
+  Alcotest.(check bool) "non-edge raises Not_an_edge" true
+    (try
+       ignore (Clique.Congest.exchange c [| [ (2, [| 1 |]) ]; []; [] |]);
+       false
+     with Clique.Congest.Not_an_edge { src = 0; dst = 2 } -> true)
+
+let test_congest_route_and_broadcast () =
+  let c = congest_pair () in
+  Alcotest.(check bool) "route along a non-edge raises" true
+    (try
+       ignore (Clique.Congest.route c [ (0, 2, [| 1 |]) ]);
+       false
+     with Clique.Congest.Not_an_edge _ -> true);
+  Alcotest.(check bool) "route payload too wide raises" true
+    (raises_bandwidth (fun () ->
+         Clique.Congest.route c [ (0, 1, [| 1; 2; 3 |]) ]));
+  Alcotest.(check bool) "broadcast needs a complete graph" true
+    (try
+       ignore (Clique.Congest.broadcast c [| [| 1 |]; [| 2 |]; [| 3 |] |]);
+       false
+     with Clique.Congest.Not_an_edge _ -> true);
+  let k = Clique.Congest.create (Gen.complete 3) in
+  let view = Clique.Congest.broadcast k [| [| 1 |]; [| 2 |]; [| 3 |] |] in
+  Alcotest.(check int) "complete graph broadcasts" 2 view.(1).(0);
+  Alcotest.(check int) "one round" 1 (Clique.Congest.rounds k)
+
+(* -------------------------------------------- route batching arithmetic *)
+
+let test_route_batch_boundary () =
+  let n = 4 and width = 2 in
+  (* Max per-node load exactly n·width = 8 words: one 16-round batch. *)
+  let msgs load =
+    List.init load (fun i -> (1 + (i mod (n - 1)), 0, [| i |]))
+  in
+  let sim = Clique.Sim.create n in
+  ignore (Clique.Sim.route sim (msgs (n * width)));
+  Alcotest.(check int) "load = capacity: 1 batch"
+    Runtime.Cost.lenzen_routing_rounds (Clique.Sim.rounds sim);
+  let sim2 = Clique.Sim.create n in
+  ignore (Clique.Sim.route sim2 (msgs ((n * width) + 1)));
+  Alcotest.(check int) "load = capacity + 1: 2 batches"
+    (2 * Runtime.Cost.lenzen_routing_rounds)
+    (Clique.Sim.rounds sim2);
+  (* Same arithmetic with a non-default width. *)
+  let sim3 = Clique.Sim.create n in
+  ignore (Clique.Sim.route ~width:1 sim3 (msgs (n + 1)));
+  Alcotest.(check int) "width 1 halves the capacity"
+    (2 * Runtime.Cost.lenzen_routing_rounds)
+    (Clique.Sim.rounds sim3)
+
+(* --------------------------------------------------- ledger and observers *)
+
+let test_runtime_ledger_and_phases () =
+  let rt = K.clique 4 in
+  K.with_phase rt "talk" (fun () ->
+      ignore (K.On_sim.exchange rt [| [ (1, [| 5 |]) ]; []; []; [] |]));
+  K.charge rt ~phase:"analysis" 7;
+  Alcotest.(check int) "total" 8 (K.rounds rt);
+  Alcotest.(check int) "talk" 1 (K.phase_rounds rt "talk");
+  Alcotest.(check int) "analysis" 7 (K.phase_rounds rt "analysis");
+  Alcotest.(check int) "words" 1 (K.words rt);
+  Alcotest.(check (list (pair string int)))
+    "sorted breakdown"
+    [ ("analysis", 7); ("talk", 1) ]
+    (K.phases rt);
+  (* The ledger total always equals the transport's round counter. *)
+  Alcotest.(check int) "transport agrees" (K.rounds rt)
+    (Clique.Sim.rounds (K.On_sim.transport rt));
+  Alcotest.(check bool) "negative charge rejected" true
+    (try
+       K.charge rt (-1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_runtime_on_round_hook () =
+  let rt = K.clique 3 in
+  let seen = ref [] in
+  K.on_round rt (fun ~phase ~rounds ~words ->
+      seen := (phase, rounds, words) :: !seen);
+  K.with_phase rt "bcast" (fun () ->
+      ignore (K.On_sim.broadcast rt [| [| 1 |]; [| 2 |]; [| 3 |] |]));
+  K.charge rt ~phase:"post" 4;
+  Alcotest.(check (list (triple string int int)))
+    "observer saw both events"
+    [ ("post", 4, 0); ("bcast", 1, 6) ]
+    !seen
+
+let test_runtime_trace_ring () =
+  let rt = K.On_sim.create ~trace_capacity:2 (Clique.Sim.create 2) in
+  K.charge rt ~phase:"a" 1;
+  K.charge rt ~phase:"b" 2;
+  K.charge rt ~phase:"c" 3;
+  let tr = K.On_sim.trace rt in
+  Alcotest.(check int) "all events counted" 3 (Runtime.Trace.recorded tr);
+  Alcotest.(check (list string))
+    "ring keeps the newest" [ "b"; "c" ]
+    (List.map (fun e -> e.Runtime.Trace.phase) (Runtime.Trace.to_list tr));
+  let report = K.report rt in
+  Alcotest.(check bool) "report names the kernel" true
+    (String.length report > 0
+    && String.sub report 0 7 = "[clique")
+
+(* ------------------------------------------------- cross-kernel programs *)
+
+let test_bfs_parity_across_kernels () =
+  let g = Gen.connected_gnp ~seed:21L 24 0.15 in
+  let rt = K.clique (Graph.n g) in
+  let d_clique = K.Sim_programs.bfs rt g 0 in
+  let c = Clique.Congest.create g in
+  let d_congest = Clique.Congest.bfs c 0 in
+  Alcotest.(check (array int)) "distances agree" d_congest d_clique;
+  Alcotest.(check (array int))
+    "oracle agrees" (Traversal.bfs g 0) d_clique;
+  Alcotest.(check int) "same rounds on both kernels"
+    (Clique.Congest.rounds c) (K.rounds rt);
+  Alcotest.(check int) "all rounds under the bfs phase" (K.rounds rt)
+    (K.phase_rounds rt "bfs")
+
+let test_bellman_ford_parity_across_kernels () =
+  let g = Gen.weighted_gnp ~seed:22L 16 0.3 8 in
+  let rt = K.clique (Graph.n g) in
+  let d_clique = K.Sim_programs.bellman_ford rt g 0 in
+  let c = Clique.Congest.create g in
+  let d_congest = Clique.Congest.bellman_ford c 0 in
+  Alcotest.(check int) "same rounds" (Clique.Congest.rounds c) (K.rounds rt);
+  Array.iteri
+    (fun v d ->
+      if Float.abs (d -. d_congest.(v)) > 1e-9 then
+        Alcotest.failf "distance mismatch at %d" v)
+    d_clique
+
+let test_boruvka_parity_across_kernels () =
+  let g = Gen.complete ~w:1. 10 in
+  (* Perturb weights deterministically so the MST is unique and nontrivial. *)
+  let g =
+    Graph.create 10
+      (Array.to_list (Graph.edges g)
+      |> List.mapi (fun i e ->
+             { e with Graph.w = 1. +. float_of_int ((i * 37) mod 11) }))
+  in
+  let rt_sim = K.clique (Graph.n g) in
+  let e1, w1, p1 = K.Sim_programs.boruvka rt_sim g in
+  let rt_con = K.congest g in
+  let e2, w2, p2 = K.Congest_programs.boruvka rt_con g in
+  Alcotest.(check (list int)) "same edges" e1 e2;
+  Alcotest.(check (float 1e-9)) "same weight" w1 w2;
+  Alcotest.(check int) "same phases" p1 p2;
+  Alcotest.(check int) "same rounds" (K.rounds rt_sim)
+    (K.On_congest.rounds rt_con);
+  Alcotest.(check (list int))
+    "kruskal oracle"
+    (List.sort compare (Clique.Boruvka.kruskal g))
+    e1;
+  Alcotest.(check int) "2 rounds per phase" (2 * p1) (K.rounds rt_sim);
+  let r = Clique.Boruvka.minimum_spanning_tree g in
+  Alcotest.(check (list int)) "wrapper agrees" e1 r.Clique.Boruvka.edges
+
+let test_three_color_parity_across_kernels () =
+  let k = 12 in
+  let succ = Array.init k (fun i -> (i + 1) mod k) in
+  let pred = Array.init k (fun i -> (i + k - 1) mod k) in
+  let ids = Array.init k (fun i -> (i * 53) + 2) in
+  let rt_sim = K.clique k in
+  let c1, r1 = K.Sim_programs.three_color rt_sim ~ids ~succ ~pred in
+  (* The ring's communication pattern follows cycle edges, so the same
+     program runs on the CONGEST kernel over the cycle graph. *)
+  let rt_con = K.congest (Gen.cycle k) in
+  let c2, r2 = K.Congest_programs.three_color rt_con ~ids ~succ ~pred in
+  Alcotest.(check (array int)) "same colors" c1 c2;
+  Alcotest.(check int) "same rounds" r1 r2;
+  Alcotest.(check bool) "proper" true (Coloring.is_proper c1 ~succ);
+  Alcotest.(check int) "ledger charged under coloring" r1
+    (K.phase_rounds rt_sim "coloring")
+
+let suite =
+  [
+    Alcotest.test_case "sim exchange bandwidth" `Quick
+      test_sim_exchange_bandwidth;
+    Alcotest.test_case "sim broadcast bandwidth" `Quick
+      test_sim_broadcast_bandwidth;
+    Alcotest.test_case "sim route bandwidth" `Quick test_sim_route_bandwidth;
+    Alcotest.test_case "congest exchange bandwidth+edges" `Quick
+      test_congest_exchange_bandwidth_and_edges;
+    Alcotest.test_case "congest route+broadcast" `Quick
+      test_congest_route_and_broadcast;
+    Alcotest.test_case "route batch boundary" `Quick test_route_batch_boundary;
+    Alcotest.test_case "ledger and phases" `Quick
+      test_runtime_ledger_and_phases;
+    Alcotest.test_case "on_round hook" `Quick test_runtime_on_round_hook;
+    Alcotest.test_case "trace ring buffer" `Quick test_runtime_trace_ring;
+    Alcotest.test_case "bfs parity across kernels" `Quick
+      test_bfs_parity_across_kernels;
+    Alcotest.test_case "bellman-ford parity across kernels" `Quick
+      test_bellman_ford_parity_across_kernels;
+    Alcotest.test_case "boruvka parity across kernels" `Quick
+      test_boruvka_parity_across_kernels;
+    Alcotest.test_case "three-color parity across kernels" `Quick
+      test_three_color_parity_across_kernels;
+  ]
