@@ -1,0 +1,30 @@
+(* cc_lint — model-compliance linter for the congested-clique reproduction.
+
+   Usage: cc_lint [--rules] [PATH ...]        (default paths: lib bin)
+
+   Prints one machine-readable line per finding (file:line rule message)
+   and exits 1 iff any finding survived suppression, 2 on usage errors. *)
+
+let usage () =
+  prerr_endline "usage: cc_lint [--rules] [PATH ...]   (default: lib bin)";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-h" args then usage ();
+  if List.mem "--rules" args then begin
+    print_endline (Analysis.Report.rules_table ());
+    exit 0
+  end;
+  let roots = match args with [] -> [ "lib"; "bin" ] | paths -> paths in
+  match Analysis.Lint.lint_paths roots with
+  | [] ->
+    prerr_endline (Analysis.Report.summary []);
+    exit 0
+  | findings ->
+    Analysis.Report.print stdout findings;
+    prerr_endline (Analysis.Report.summary findings);
+    exit 1
+  | exception Invalid_argument msg ->
+    prerr_endline ("cc_lint: " ^ msg);
+    exit 2

@@ -1,0 +1,17 @@
+let to_string (f : Lint.finding) =
+  Printf.sprintf "%s:%d %s %s" f.file f.line (Rule.to_string f.rule) f.message
+
+let print oc findings =
+  List.iter (fun f -> Printf.fprintf oc "%s\n" (to_string f)) findings
+
+let summary findings =
+  match List.length findings with
+  | 0 -> "cc_lint: clean"
+  | 1 -> "cc_lint: 1 finding"
+  | k -> Printf.sprintf "cc_lint: %d findings" k
+
+let rules_table () =
+  String.concat "\n"
+    (List.map
+       (fun id -> Printf.sprintf "%s  %s" (Rule.to_string id) (Rule.synopsis id))
+       Rule.all)

@@ -1,0 +1,12 @@
+(** Machine-readable rendering of lint findings. *)
+
+val to_string : Lint.finding -> string
+(** One line: [file:line rule message]. *)
+
+val print : out_channel -> Lint.finding list -> unit
+
+val summary : Lint.finding list -> string
+(** ["cc_lint: clean"] or a finding count, for the trailing stderr line. *)
+
+val rules_table : unit -> string
+(** The L1-L6 catalog, one rule per line, for [cc_lint --rules]. *)

@@ -1,0 +1,73 @@
+type id = L1 | L2 | L3 | L4 | L5 | L6
+
+let all = [ L1; L2; L3; L4; L5; L6 ]
+
+let to_string = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | L4 -> "L4"
+  | L5 -> "L5"
+  | L6 -> "L6"
+
+let of_string = function
+  | "L1" -> Some L1
+  | "L2" -> Some L2
+  | "L3" -> Some L3
+  | "L4" -> Some L4
+  | "L5" -> Some L5
+  | "L6" -> Some L6
+  | _ -> None
+
+let synopsis = function
+  | L1 ->
+    "unsanctioned entropy in a charged layer (Random.*; use the seeded \
+     Graph.Prng)"
+  | L2 ->
+    "wall-clock or OS state in a charged layer (Unix.*, Sys.time): rounds \
+     are the only cost measure"
+  | L3 ->
+    "transport call bypassing the Runtime ledger (Sim./Congest. \
+     exchange/route/broadcast/charge outside lib/runtime and lib/clique)"
+  | L4 -> "Obj.magic defeats the type discipline the round accounting rests on"
+  | L5 ->
+    "catch-all exception handler (try ... with _ ->) can swallow \
+     Bandwidth_exceeded and sanitizer violations"
+  | L6 -> "lib module without an .mli interface"
+
+let allow_marker = "cc_lint: allow"
+
+(* A raw source line suppresses [id] iff it carries a
+   [(* cc_lint: allow L2 L5 *)]-style marker naming that id. *)
+let suppressed id raw_line =
+  let name = to_string id in
+  let len = String.length raw_line in
+  let mlen = String.length allow_marker in
+  let rec find i =
+    if i + mlen > len then false
+    else if String.sub raw_line i mlen = allow_marker then ids (i + mlen)
+    else find (i + 1)
+  and ids i =
+    (* Scan the id list following the marker: uppercase-L tokens until the
+       comment closes or the line ends. *)
+    let rec loop i =
+      if i >= len then false
+      else if raw_line.[i] = ' ' || raw_line.[i] = ',' then loop (i + 1)
+      else if i + 1 < len && raw_line.[i] = '*' && raw_line.[i + 1] = ')' then
+        false
+      else begin
+        let j = ref i in
+        while
+          !j < len
+          && raw_line.[!j] <> ' '
+          && raw_line.[!j] <> ','
+          && raw_line.[!j] <> '*'
+        do
+          incr j
+        done;
+        if String.sub raw_line i (!j - i) = name then true else loop !j
+      end
+    in
+    loop i
+  in
+  find 0

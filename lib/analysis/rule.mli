@@ -1,0 +1,26 @@
+(** The model-hygiene rule catalog.
+
+    Every reproduced claim (Theorems 1.1-1.4, Theorem 3.3) is deterministic
+    and priced in congested-clique rounds with O(log n)-bit messages; each
+    rule names one way a source file can silently step outside that model.
+    Rules are identified as [L1]..[L6] and can be suppressed per line with a
+    [(* cc_lint: allow L2 *)] comment. *)
+
+type id = L1 | L2 | L3 | L4 | L5 | L6
+
+val all : id list
+(** In ascending order. *)
+
+val to_string : id -> string
+
+val of_string : string -> id option
+
+val synopsis : id -> string
+(** One-line description, used by [cc_lint --rules] and in messages. *)
+
+val allow_marker : string
+(** The literal suppression marker, ["cc_lint: allow"]. *)
+
+val suppressed : id -> string -> bool
+(** [suppressed id raw_line] is [true] iff the raw (uncommented-out) line
+    carries a suppression marker naming [id]. *)

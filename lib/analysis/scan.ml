@@ -1,0 +1,129 @@
+(* Lexical pre-pass: blank out comments, string literals, and character
+   literals so token rules never fire on prose or data. Purely a character
+   scanner — no ppx, no compiler-libs — which is all the line-level rules
+   need. Newlines are preserved so findings keep their line numbers. *)
+
+type state =
+  | Code
+  | Comment of int  (* nesting depth *)
+  | Str  (* "..." *)
+  | Quoted of string  (* {id|...|id}; the string is the delimiter id *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+
+(* A ['] at [i] starts a character literal (as opposed to a type variable or
+   a primed identifier) iff it closes within a few characters: ['x'] or an
+   escape ['\n'], ['\123'], ['\xFF']. *)
+let char_literal_end src i =
+  let len = String.length src in
+  if i + 2 < len && src.[i + 1] <> '\\' && src.[i + 1] <> '\'' && src.[i + 2] = '\''
+  then Some (i + 2)
+  else if i + 1 < len && src.[i + 1] = '\\' then begin
+    let j = ref (i + 2) in
+    while !j < len && !j <= i + 6 && src.[!j] <> '\'' do
+      incr j
+    done;
+    if !j < len && src.[!j] = '\'' then Some !j else None
+  end
+  else None
+
+(* A quoted-string opener (brace, optional lowercase delimiter id, pipe) at
+   position [i]: return the delimiter id. *)
+let quoted_open src i =
+  let len = String.length src in
+  if i >= len || src.[i] <> '{' then None
+  else begin
+    let j = ref (i + 1) in
+    while !j < len && is_lower src.[!j] do
+      incr j
+    done;
+    if !j < len && src.[!j] = '|' then Some (String.sub src (i + 1) (!j - i - 1))
+    else None
+  end
+
+let strip src =
+  let len = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let state = ref Code in
+  let i = ref 0 in
+  while !i < len do
+    let c = src.[!i] in
+    (match !state with
+    | Code ->
+      if c = '(' && !i + 1 < len && src.[!i + 1] = '*' then begin
+        state := Comment 1;
+        blank !i;
+        blank (!i + 1);
+        incr i
+      end
+      else if c = '"' then begin
+        state := Str;
+        blank !i
+      end
+      else if c = '\'' && (!i = 0 || not (is_ident_char src.[!i - 1])) then begin
+        match char_literal_end src !i with
+        | Some e ->
+          for k = !i to e do
+            blank k
+          done;
+          i := e
+        | None -> ()
+      end
+      else begin
+        match quoted_open src !i with
+        | Some delim ->
+          state := Quoted delim;
+          for k = !i to !i + String.length delim + 1 do
+            blank k
+          done;
+          i := !i + String.length delim + 1
+        | None -> ()
+      end
+    | Comment d ->
+      if c = '(' && !i + 1 < len && src.[!i + 1] = '*' then begin
+        state := Comment (d + 1);
+        blank !i;
+        blank (!i + 1);
+        incr i
+      end
+      else if c = '*' && !i + 1 < len && src.[!i + 1] = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        incr i;
+        state := (if d = 1 then Code else Comment (d - 1))
+      end
+      else blank !i
+    | Str ->
+      if c = '\\' && !i + 1 < len then begin
+        blank !i;
+        blank (!i + 1);
+        incr i
+      end
+      else if c = '"' then begin
+        blank !i;
+        state := Code
+      end
+      else blank !i
+    | Quoted delim ->
+      let close = "|" ^ delim ^ "}" in
+      let clen = String.length close in
+      if c = '|' && !i + clen <= len && String.sub src !i clen = close then begin
+        for k = !i to !i + clen - 1 do
+          blank k
+        done;
+        i := !i + clen - 1;
+        state := Code
+      end
+      else blank !i);
+    incr i
+  done;
+  Bytes.to_string out
+
+let lines s = String.split_on_char '\n' s

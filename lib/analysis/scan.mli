@@ -1,0 +1,17 @@
+(** Lexical pre-pass for the linter.
+
+    [strip src] returns [src] with every comment, string literal, and
+    character literal replaced by spaces (newlines preserved), so that token
+    rules match only real code and findings keep their line numbers. The
+    scanner understands nested comments, escapes inside double-quoted
+    strings, brace-pipe quoted strings (with optional delimiter ids), and
+    distinguishes character literals from type variables and primed
+    identifiers. *)
+
+val strip : string -> string
+
+val lines : string -> string list
+(** Split on ['\n'] (no trailing-newline special-casing). *)
+
+val is_ident_char : char -> bool
+(** Identifier continuation characters, used for token-boundary checks. *)

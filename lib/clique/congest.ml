@@ -30,6 +30,8 @@ let words_sent t = t.words_sent
 let check t ~src ~dst =
   if not (Hashtbl.mem t.neighbors.(src) dst) then raise (Not_an_edge { src; dst })
 
+let default_width = 2
+
 let exchange ?(width = 2) t outboxes =
   let inboxes, words =
     Runtime.Mailbox.deliver ~n:(n t) ~width ~check:(check t) outboxes
@@ -70,6 +72,7 @@ module Self = struct
 
   let name = name
   let n = n
+  let default_width = default_width
   let rounds = rounds
   let words_sent = words_sent
   let exchange = exchange

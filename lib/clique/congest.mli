@@ -29,6 +29,9 @@ val rounds : t -> int
 val words_sent : t -> int
 (** Total words ever sent (message-complexity measure). *)
 
+val default_width : int
+(** 2 — same per-edge budget as {!Sim.default_width}. *)
+
 val exchange :
   ?width:int -> t -> (int * int array) list array -> (int * int array) list array
 (** Same contract as {!Sim.exchange}, except messages must follow edges —

@@ -1,6 +1,7 @@
 module Cost = Cost
 module Trace = Trace
 module Mailbox = Mailbox
+module Sanitize = Sanitize
 
 module type TRANSPORT = Transport.S
 
@@ -11,7 +12,8 @@ module type S = sig
 
   val kernel : string
 
-  val create : ?phase:string -> ?trace_capacity:int -> transport -> t
+  val create :
+    ?phase:string -> ?trace_capacity:int -> ?sanitize:bool -> transport -> t
 
   val transport : t -> transport
 
@@ -20,6 +22,10 @@ module type S = sig
   val ledger : t -> Cost.t
 
   val trace : t -> Trace.t
+
+  val sanitized : t -> bool
+
+  val sanitizer : t -> Sanitize.t option
 
   val rounds : t -> int
 
@@ -63,6 +69,10 @@ module Make (T : TRANSPORT) = struct
     tr : T.t;
     ledger : Cost.t;
     trace : Trace.t;
+    san : Sanitize.t option;
+    (* Rounds already on the transport when this runtime was created; the
+       drift check compares the ledger against the counter's movement. *)
+    base_rounds : int;
     mutable phase : string;
     mutable words : int;
     mutable hooks : (phase:string -> rounds:int -> words:int -> unit) list;
@@ -70,11 +80,16 @@ module Make (T : TRANSPORT) = struct
 
   let kernel = T.name
 
-  let create ?(phase = "main") ?(trace_capacity = 256) tr =
+  let create ?(phase = "main") ?(trace_capacity = 256) ?sanitize tr =
+    let sanitize =
+      match sanitize with Some b -> b | None -> Sanitize.enabled_default ()
+    in
     {
       tr;
       ledger = Cost.create ();
       trace = Trace.create trace_capacity;
+      san = (if sanitize then Some (Sanitize.create ()) else None);
+      base_rounds = T.rounds tr;
       phase;
       words = 0;
       hooks = [];
@@ -87,6 +102,10 @@ module Make (T : TRANSPORT) = struct
   let ledger t = t.ledger
 
   let trace t = t.trace
+
+  let sanitized t = t.san <> None
+
+  let sanitizer t = t.san
 
   let rounds t = Cost.rounds t.ledger
 
@@ -115,27 +134,59 @@ module Make (T : TRANSPORT) = struct
       List.iter (fun hook -> hook ~phase ~rounds ~words) t.hooks
     end
 
+  let sanitize_event t ~phase ~op ~width ~rounds ~words ~event =
+    match t.san with
+    | None -> ()
+    | Some s ->
+      let sizes, content = event () in
+      Sanitize.record s ~phase ~op ~width ~rounds ~words ~sizes ~content;
+      Sanitize.check_phase s ~phase ~op ~rounds;
+      Sanitize.check_drift ~phase
+        ~ledger:(Cost.rounds t.ledger)
+        ~transport:(T.rounds t.tr - t.base_rounds)
+
   (* Every communication call is measured against the transport's own
      counters, so measured and charged rounds land in the same ledger. *)
-  let wrap t f =
+  let wrap t ~op ~width ~event f =
     let r0 = T.rounds t.tr and w0 = T.words_sent t.tr in
     let result = f () in
-    observe t ~phase:t.phase ~rounds:(T.rounds t.tr - r0)
-      ~words:(T.words_sent t.tr - w0);
+    let rounds = T.rounds t.tr - r0 and words = T.words_sent t.tr - w0 in
+    observe t ~phase:t.phase ~rounds ~words;
+    sanitize_event t ~phase:t.phase ~op ~width ~rounds ~words ~event;
     result
 
-  let exchange ?width t outboxes =
-    wrap t (fun () -> T.exchange ?width t.tr outboxes)
+  let effective_width width =
+    match width with Some w -> w | None -> T.default_width
 
-  let route ?width t msgs = wrap t (fun () -> T.route ?width t.tr msgs)
+  let exchange ?width t outboxes =
+    let w = effective_width width in
+    if t.san <> None then
+      Sanitize.check_exchange ~phase:t.phase ~width:w outboxes;
+    wrap t ~op:Sanitize.Exchange ~width:w
+      ~event:(fun () -> Sanitize.exchange_event outboxes)
+      (fun () -> T.exchange ?width t.tr outboxes)
+
+  let route ?width t msgs =
+    let w = effective_width width in
+    if t.san <> None then Sanitize.check_route ~phase:t.phase ~width:w msgs;
+    wrap t ~op:Sanitize.Route ~width:w
+      ~event:(fun () -> Sanitize.route_event msgs)
+      (fun () -> T.route ?width t.tr msgs)
 
   let broadcast ?width t values =
-    wrap t (fun () -> T.broadcast ?width t.tr values)
+    let w = effective_width width in
+    if t.san <> None then
+      Sanitize.check_broadcast ~phase:t.phase ~width:w values;
+    wrap t ~op:Sanitize.Broadcast ~width:w
+      ~event:(fun () -> Sanitize.broadcast_event values)
+      (fun () -> T.broadcast ?width t.tr values)
 
   let charge ?phase t r =
     let phase = match phase with Some p -> p | None -> t.phase in
     T.charge t.tr r;
-    observe t ~phase ~rounds:r ~words:0
+    observe t ~phase ~rounds:r ~words:0;
+    sanitize_event t ~phase ~op:Sanitize.Charge ~width:0 ~rounds:r ~words:0
+      ~event:(fun () -> ([], []))
 
   let report t =
     let buf = Buffer.create 128 in

@@ -14,6 +14,7 @@
 module Cost = Cost
 module Trace = Trace
 module Mailbox = Mailbox
+module Sanitize = Sanitize
 
 module type TRANSPORT = Transport.S
 
@@ -28,10 +29,14 @@ module type S = sig
   val kernel : string
   (** The transport's {!Transport.S.name}. *)
 
-  val create : ?phase:string -> ?trace_capacity:int -> transport -> t
+  val create :
+    ?phase:string -> ?trace_capacity:int -> ?sanitize:bool -> transport -> t
   (** A fresh runtime (empty ledger and trace) over an existing transport.
       [phase] (default ["main"]) is the initial ledger tag;
-      [trace_capacity] (default 256) bounds the event ring. *)
+      [trace_capacity] (default 256) bounds the event ring. [sanitize]
+      (default {!Sanitize.enabled_default}, i.e. the [CC_SANITIZE]
+      environment variable) turns on the dynamic model-compliance checks
+      and determinism transcripts of {!Sanitize}. *)
 
   val transport : t -> transport
 
@@ -41,6 +46,11 @@ module type S = sig
   (** The single cost ledger all calls charge into. *)
 
   val trace : t -> Trace.t
+
+  val sanitized : t -> bool
+
+  val sanitizer : t -> Sanitize.t option
+  (** The sanitizer state (for reading transcript hashes), if enabled. *)
 
   val rounds : t -> int
   (** Total rounds this runtime has charged (= ledger total). *)

@@ -1,0 +1,87 @@
+(** Dynamic model-compliance sanitizer for {!Runtime.Make}.
+
+    The paper's claims are deterministic round bounds over O(log n)-bit
+    links, so a runtime in sanitizer mode checks, on every communication
+    call and analytic charge:
+
+    - {b width}: the per-ordered-pair word bound, asserted {e before} the
+      transport runs so the raised {!Violation} names the offending phase;
+    - {b determinism transcripts}: two running FNV-1a (64-bit) hashes. The
+      {e shape} hash folds in phase, operation, width, rounds, words, and
+      the {e sorted multiset} of payload sizes — invariant under node-ID
+      permutation for label-oblivious algorithms, so a test can relabel the
+      input and require a bit-identical hash. The {e content} hash
+      additionally pins endpoints and payload words — the run-twice
+      bit-identity check.
+    - {b ledger drift}: the {!Cost.t} total must equal the rounds the
+      transport counter moved since the runtime was created;
+    - {b phase attribution}: once any named phase has been charged, further
+      rounds under the default ["main"] phase are a violation (work is
+      escaping the per-phase breakdown).
+
+    Enabled per runtime via [Runtime.Make(T).create ~sanitize:true], or
+    globally with the [CC_SANITIZE=1] environment variable (values [1],
+    [true], [yes], [on]); {!set_default} overrides the environment from
+    test code. *)
+
+exception Violation of { phase : string; kind : string; detail : string }
+(** [kind] is one of ["width"], ["phase-attribution"], ["ledger-drift"].
+    A printer is registered, so uncaught violations print readably. *)
+
+val env_var : string
+(** ["CC_SANITIZE"]. *)
+
+val enabled_default : unit -> bool
+(** What [create ?sanitize] defaults to: {!set_default}'s override if any,
+    else the environment. *)
+
+val set_default : bool option -> unit
+(** [set_default (Some b)] forces the default; [set_default None] restores
+    environment control. *)
+
+type t
+
+val create : unit -> t
+
+type op = Exchange | Route | Broadcast | Charge
+
+type transcript = { events : int; shape_hash : int64; content_hash : int64 }
+
+val transcript : t -> transcript
+
+val default_phase : string
+(** ["main"]. *)
+
+(** {1 Hooks called by [Runtime.Make]} *)
+
+val exchange_event : (int * int array) list array -> int list * int list
+(** [(sizes, content)] of an exchange's outboxes. *)
+
+val route_event : (int * int * int array) list -> int list * int list
+
+val broadcast_event : int array array -> int list * int list
+
+val record :
+  t ->
+  phase:string ->
+  op:op ->
+  width:int ->
+  rounds:int ->
+  words:int ->
+  sizes:int list ->
+  content:int list ->
+  unit
+(** Fold one event into both transcript hashes. [sizes] is sorted
+    internally; [content] is hashed in the given order. *)
+
+val check_exchange :
+  phase:string -> width:int -> (int * int array) list array -> unit
+
+val check_route :
+  phase:string -> width:int -> (int * int * int array) list -> unit
+
+val check_broadcast : phase:string -> width:int -> int array array -> unit
+
+val check_phase : t -> phase:string -> op:op -> rounds:int -> unit
+
+val check_drift : phase:string -> ledger:int -> transport:int -> unit

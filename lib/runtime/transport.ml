@@ -18,6 +18,10 @@ module type S = sig
   val n : t -> int
   (** Number of nodes. *)
 
+  val default_width : int
+  (** Per-ordered-pair word budget used when a call omits [?width]; the
+      sanitizer asserts against the same value the kernel enforces. *)
+
   val rounds : t -> int
   (** Rounds elapsed on this transport so far (measured + charged). *)
 
@@ -31,7 +35,7 @@ module type S = sig
     (int * int array) list array
   (** One synchronous round: [outboxes.(v)] is node [v]'s [(dst, payload)]
       list; the result is the inboxes, [(src, payload)] per node. At most
-      [width] words (default 2) per ordered pair. *)
+      [width] words (default {!default_width}) per ordered pair. *)
 
   val route :
     ?width:int ->

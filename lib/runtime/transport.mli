@@ -1,0 +1,35 @@
+(** The [TRANSPORT] signature a message kernel implements so that
+    {!Runtime.Make} can drive node programs on it; see the implementation
+    file for the full per-operation contracts. Instances live in
+    [lib/clique] ([Sim], [Congest]). *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val n : t -> int
+
+  val default_width : int
+  (** Per-ordered-pair word budget used when a call omits [?width]. *)
+
+  val rounds : t -> int
+
+  val words_sent : t -> int
+
+  val exchange :
+    ?width:int ->
+    t ->
+    (int * int array) list array ->
+    (int * int array) list array
+
+  val route :
+    ?width:int ->
+    t ->
+    (int * int * int array) list ->
+    (int * int array) list array
+
+  val broadcast : ?width:int -> t -> int array array -> int array array
+
+  val charge : t -> int -> unit
+end

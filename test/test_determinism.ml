@@ -1,0 +1,194 @@
+(* Cross-kernel determinism under node-ID permutation: the paper's bounds
+   are deterministic, so each of the four node programs (BFS, Bellman-Ford,
+   Cole-Vishkin, Boruvka), run under the sanitizer on a relabelled input,
+   must produce the same round total and a bit-identical sanitizer shape
+   transcript on BOTH transports — and the two transports must agree with
+   each other. The content transcript additionally pins node identifiers,
+   so re-running the *same* instance must reproduce it bit-for-bit. *)
+
+module K = Clique.Kernel
+module San = Runtime.Sanitize
+
+(* A fixed non-identity permutation: i -> (a*i + 3) mod n, a coprime to n. *)
+let permutation n =
+  let a = if n mod 7 = 0 then 11 else 7 in
+  Array.init n (fun i -> ((a * i) + 3) mod n)
+
+let permute_graph perm g =
+  Graph.create (Graph.n g)
+    (Array.to_list (Graph.edges g)
+    |> List.map (fun e ->
+           { e with Graph.u = perm.(e.Graph.u); Graph.v = perm.(e.Graph.v) }))
+
+let sim_rt n = K.On_sim.create ~sanitize:true (Clique.Sim.create n)
+
+let con_rt g = K.On_congest.create ~sanitize:true (Clique.Congest.create g)
+
+let transcript = function
+  | Some s -> San.transcript s
+  | None -> Alcotest.fail "sanitizer was not enabled"
+
+let sim_result rt =
+  (K.On_sim.rounds rt, transcript (K.On_sim.sanitizer rt))
+
+let con_result rt =
+  (K.On_congest.rounds rt, transcript (K.On_congest.sanitizer rt))
+
+(* All four runs (clique/congest x identity/permuted) must agree on the
+   round total and on the permutation-invariant shape transcript. *)
+let check_quad name (r1, t1) (r2, t2) (r3, t3) (r4, t4) =
+  Alcotest.(check int) (name ^ ": clique rounds invariant") r1 r2;
+  Alcotest.(check int) (name ^ ": congest rounds invariant") r3 r4;
+  Alcotest.(check int) (name ^ ": kernels agree on rounds") r1 r3;
+  Alcotest.check Alcotest.int64
+    (name ^ ": clique shape transcript invariant")
+    t1.San.shape_hash t2.San.shape_hash;
+  Alcotest.check Alcotest.int64
+    (name ^ ": congest shape transcript invariant")
+    t3.San.shape_hash t4.San.shape_hash;
+  Alcotest.check Alcotest.int64
+    (name ^ ": kernels share one shape transcript")
+    t1.San.shape_hash t3.San.shape_hash;
+  Alcotest.(check bool) (name ^ ": transcripts non-empty") true (t1.San.events > 0)
+
+let test_bfs () =
+  let g = Gen.connected_gnp ~seed:21L 24 0.15 in
+  let n = Graph.n g in
+  let perm = permutation n in
+  let gp = permute_graph perm g in
+  let rt1 = sim_rt n in
+  let d1 = K.Sim_programs.bfs rt1 g 0 in
+  let rt2 = sim_rt n in
+  let d2 = K.Sim_programs.bfs rt2 gp perm.(0) in
+  let rt3 = con_rt g in
+  let d3 = K.Congest_programs.bfs rt3 g 0 in
+  let rt4 = con_rt gp in
+  ignore (K.Congest_programs.bfs rt4 gp perm.(0));
+  Alcotest.(check (array int)) "bfs: kernels agree on distances" d1 d3;
+  Array.iteri
+    (fun v d -> Alcotest.(check int) "bfs: distances permute" d d2.(perm.(v)))
+    d1;
+  check_quad "bfs" (sim_result rt1) (sim_result rt2) (con_result rt3)
+    (con_result rt4)
+
+let test_bfs_rerun_content_identical () =
+  let g = Gen.connected_gnp ~seed:21L 24 0.15 in
+  let n = Graph.n g in
+  let run () =
+    let rt = sim_rt n in
+    ignore (K.Sim_programs.bfs rt g 0);
+    transcript (K.On_sim.sanitizer rt)
+  in
+  let t1 = run () and t2 = run () in
+  Alcotest.check Alcotest.int64 "content transcript reproduces bit-for-bit"
+    t1.San.content_hash t2.San.content_hash;
+  Alcotest.check Alcotest.int64 "shape transcript reproduces bit-for-bit"
+    t1.San.shape_hash t2.San.shape_hash;
+  (* The content transcript pins node identifiers, so relabelling changes
+     it (that is what makes shape, not content, the permutation check). *)
+  let perm = permutation n in
+  let rt = sim_rt n in
+  ignore (K.Sim_programs.bfs rt (permute_graph perm g) perm.(0));
+  let tp = transcript (K.On_sim.sanitizer rt) in
+  Alcotest.(check bool) "content transcript is label-sensitive" true
+    (tp.San.content_hash <> t1.San.content_hash)
+
+let test_bellman_ford () =
+  let g = Gen.weighted_gnp ~seed:22L 16 0.3 8 in
+  let n = Graph.n g in
+  let perm = permutation n in
+  let gp = permute_graph perm g in
+  let rt1 = sim_rt n in
+  let d1 = K.Sim_programs.bellman_ford rt1 g 0 in
+  let rt2 = sim_rt n in
+  let d2 = K.Sim_programs.bellman_ford rt2 gp perm.(0) in
+  let rt3 = con_rt g in
+  ignore (K.Congest_programs.bellman_ford rt3 g 0);
+  let rt4 = con_rt gp in
+  ignore (K.Congest_programs.bellman_ford rt4 gp perm.(0));
+  Array.iteri
+    (fun v d ->
+      if Float.abs (d -. d2.(perm.(v))) > 1e-9 then
+        Alcotest.failf "bellman-ford: distance mismatch at %d" v)
+    d1;
+  check_quad "bellman-ford" (sim_result rt1) (sim_result rt2)
+    (con_result rt3) (con_result rt4)
+
+let test_three_color () =
+  let k = 12 in
+  let succ = Array.init k (fun i -> (i + 1) mod k) in
+  let pred = Array.init k (fun i -> (i + k - 1) mod k) in
+  let ids = Array.init k (fun i -> (i * 53) + 2) in
+  let perm = permutation k in
+  (* Position perm.(i) plays the role position i played: same ids, same
+     ring structure, relabelled carriers. *)
+  let ids_p = Array.make k 0 in
+  let succ_p = Array.make k 0 in
+  let pred_p = Array.make k 0 in
+  for i = 0 to k - 1 do
+    ids_p.(perm.(i)) <- ids.(i);
+    succ_p.(perm.(i)) <- perm.(succ.(i));
+    pred_p.(perm.(i)) <- perm.(pred.(i))
+  done;
+  let rt1 = sim_rt k in
+  let c1, chain1 = K.Sim_programs.three_color rt1 ~ids ~succ ~pred in
+  let rt2 = sim_rt k in
+  let c2, chain2 =
+    K.Sim_programs.three_color rt2 ~ids:ids_p ~succ:succ_p ~pred:pred_p
+  in
+  let rt3 = con_rt (Gen.cycle k) in
+  let c3, _ = K.Congest_programs.three_color rt3 ~ids ~succ ~pred in
+  let rt4 = con_rt (permute_graph perm (Gen.cycle k)) in
+  ignore
+    (K.Congest_programs.three_color rt4 ~ids:ids_p ~succ:succ_p ~pred:pred_p);
+  Alcotest.(check int) "three-color: chain rounds invariant" chain1 chain2;
+  Alcotest.(check (array int)) "three-color: kernels agree on colors" c1 c3;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) "three-color: colors permute" c c2.(perm.(i)))
+    c1;
+  check_quad "three-color" (sim_result rt1) (sim_result rt2)
+    (con_result rt3) (con_result rt4)
+
+let test_boruvka () =
+  (* Complete graph (the congest kernel's broadcast needs all-to-all links)
+     with deterministically perturbed weights for a unique MST. *)
+  let n = 10 in
+  let g0 = Gen.complete ~w:1. n in
+  let g =
+    Graph.create n
+      (Array.to_list (Graph.edges g0)
+      |> List.mapi (fun i e ->
+             { e with Graph.w = 1. +. float_of_int ((i * 37) mod 11) }))
+  in
+  let perm = permutation n in
+  let gp = permute_graph perm g in
+  let rt1 = sim_rt n in
+  let e1, w1, p1 = K.Sim_programs.boruvka rt1 g in
+  let rt2 = sim_rt n in
+  let e2, w2, p2 = K.Sim_programs.boruvka rt2 gp in
+  let rt3 = con_rt g in
+  let e3, _, _ = K.Congest_programs.boruvka rt3 g in
+  let rt4 = con_rt gp in
+  ignore (K.Congest_programs.boruvka rt4 gp);
+  (* Edge identifiers survive relabelling (the edge list order is kept), so
+     the chosen MST must be literally the same id set. *)
+  Alcotest.(check (list int)) "boruvka: same MST edge ids" e1 e2;
+  Alcotest.(check (list int)) "boruvka: kernels agree on MST" e1 e3;
+  Alcotest.(check (float 1e-9)) "boruvka: same weight" w1 w2;
+  Alcotest.(check int) "boruvka: same phase count" p1 p2;
+  check_quad "boruvka" (sim_result rt1) (sim_result rt2) (con_result rt3)
+    (con_result rt4)
+
+let suite =
+  [
+    Alcotest.test_case "bfs invariant under relabelling" `Quick test_bfs;
+    Alcotest.test_case "bfs content transcript reproduces" `Quick
+      test_bfs_rerun_content_identical;
+    Alcotest.test_case "bellman-ford invariant under relabelling" `Quick
+      test_bellman_ford;
+    Alcotest.test_case "three-color invariant under relabelling" `Quick
+      test_three_color;
+    Alcotest.test_case "boruvka invariant under relabelling" `Quick
+      test_boruvka;
+  ]

@@ -245,6 +245,71 @@ let test_seed_round_parity_mcf () =
     check_total_and_phases "E6 m=16" 1201 r.Mcf_ipm.rounds
       r.Mcf_ipm.phase_rounds
 
+(* Every experiment family runs clean under the dynamic sanitizer and
+   reports the exact same totals: enabling the checks must never change
+   the computation. E7/E7b are closed-form reference curves with no
+   communication; E8's ablations re-run the E1/E2 machinery with
+   non-default backends, represented here by the bucket-vs-BSS pair and
+   the CG baseline. The bench binary covers the full E1-E8 surface under
+   CC_SANITIZE=1 in CI. *)
+let with_sanitizer f =
+  Runtime.Sanitize.set_default (Some true);
+  Fun.protect ~finally:(fun () -> Runtime.Sanitize.set_default None) f
+
+let test_families_under_sanitizer () =
+  with_sanitizer (fun () ->
+      (* E1: sparsifier. *)
+      let r =
+        Sparsify.Spectral.sparsify (Graph_gen.connected_gnp ~seed:3L 40 0.5)
+      in
+      check_total_and_phases "E1 sanitized" 84 r.Sparsify.Spectral.rounds
+        r.Sparsify.Spectral.phase_rounds;
+      (* E2: solver. *)
+      let n = 30 in
+      let g = Graph_gen.connected_gnp ~seed:7L n 0.3 in
+      let b =
+        Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
+      in
+      let r = Laplacian.Solver.solve ~eps:1e-6 g b in
+      check_total_and_phases "E2 sanitized" 157 r.Laplacian.Solver.rounds
+        r.Laplacian.Solver.phase_rounds;
+      (* E3: Euler orientation. *)
+      let r = Euler.Orientation.orient (Graph_gen.cycle_union ~seed:5L 64 4) in
+      check_total_and_phases "E3 sanitized" 264 r.Euler.Orientation.rounds
+        r.Euler.Orientation.phase_rounds;
+      (* E4: flow rounding. *)
+      let g = Graph_gen.layered_network ~seed:11L 4 4 6 in
+      let t = Digraph.n g - 1 in
+      let f, _ = Dinic.max_flow g ~s:0 ~t in
+      let delta = 0.25 in
+      let frac = Array.map (fun x -> 2. /. 3. *. x) f in
+      let items = Decompose.decompose g ~s:0 ~t frac in
+      let q = Decompose.accumulate g (Decompose.quantize_paths ~delta items) in
+      let r = Rounding.Flow_rounding.round g ~s:0 ~t ~delta q in
+      check_total_and_phases "E4 sanitized" 304 r.Rounding.Flow_rounding.rounds
+        r.Rounding.Flow_rounding.phase_rounds;
+      (* E5: max flow IPM. *)
+      let g = Graph_gen.layered_network ~seed:13L 2 4 8 in
+      let r = Maxflow_ipm.max_flow g ~s:0 ~t:(Digraph.n g - 1) in
+      check_total_and_phases "E5 sanitized" 1931 r.Maxflow_ipm.rounds
+        r.Maxflow_ipm.phase_rounds;
+      (* E6: min-cost flow IPM. *)
+      let g, sigma = Graph_gen.random_mcf ~seed:17L 8 16 10 in
+      (match Mcf_ipm.solve g ~sigma with
+      | None -> Alcotest.fail "seed instance must be feasible"
+      | Some r ->
+        check_total_and_phases "E6 sanitized" 1201 r.Mcf_ipm.rounds
+          r.Mcf_ipm.phase_rounds);
+      (* E8-style ablations: alternate sparsifier backend and the plain-CG
+         solver baseline also run clean under the checks. *)
+      let g = Graph_gen.connected_gnp ~seed:29L 36 0.5 in
+      ignore (Sparsify.Bss.sparsify ~d:4 g);
+      let n = Graph.n g in
+      let b =
+        Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
+      in
+      ignore (Laplacian.Solver.solve_cg_baseline ~eps:1e-8 g b))
+
 (* Determinism: the whole Theorem 1.2 pipeline is bit-for-bit repeatable. *)
 let test_pipeline_determinism () =
   let g = Graph_gen.layered_network ~seed:11L 3 3 5 in
@@ -289,4 +354,6 @@ let suite =
       test_seed_round_parity_maxflow;
     Alcotest.test_case "seed round parity: mcf (E6)" `Quick
       test_seed_round_parity_mcf;
+    Alcotest.test_case "experiment families under sanitizer" `Quick
+      test_families_under_sanitizer;
   ]

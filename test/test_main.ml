@@ -5,6 +5,9 @@ let () =
       ("graph", Test_graph.suite);
       ("clique", Test_clique.suite);
       ("runtime", Test_runtime.suite);
+      ("sanitize", Test_sanitize.suite);
+      ("determinism", Test_determinism.suite);
+      ("analysis", Test_analysis.suite);
       ("expander", Test_expander.suite);
       ("sparsify", Test_sparsify.suite);
       ("laplacian", Test_laplacian.suite);
