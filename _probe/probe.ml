@@ -1,0 +1,3 @@
+let () =
+  let r = Analysis.Rule.suppressed Analysis.Rule.L1 "let x = Obj.magic 0 (* cc_lint: allow L1 **)" in
+  Printf.printf "result: %b\n" r
