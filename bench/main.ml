@@ -3,10 +3,45 @@
    are the theorem round-complexity claims and the §1.1 comparisons; see
    DESIGN.md §3 and EXPERIMENTS.md for the index).
 
-   Two parts:
+   Three parts:
    1. round-count experiment series (the reproduction target: rounds in the
       congested-clique model, measured by the instrumented runtime);
-   2. Bechamel wall-clock benches, one Test.make per experiment kernel. *)
+   2. Bechamel wall-clock benches, one Test.make per experiment kernel;
+   3. machine-readable telemetry: every experiment also lands in a
+      schema-versioned BENCH_E<k>.json (schema: DESIGN.md §8), the input of
+      the bin/bench_diff regression gate.
+
+   Environment:
+   - CC_BENCH_MODE=reduced  shrink every sweep and the Bechamel quota (the
+     CI configuration; the committed bench/baseline was produced this way)
+   - CC_BENCH_OUT=<dir>     where the BENCH_*.json files go (default ".") *)
+
+module J = Metrics.Json
+
+let reduced =
+  match Sys.getenv_opt "CC_BENCH_MODE" with
+  | Some ("reduced" | "ci") -> true
+  | _ -> false
+
+let mode = if reduced then "reduced" else "full"
+
+let out_dir = Option.value (Sys.getenv_opt "CC_BENCH_OUT") ~default:"."
+
+let () =
+  (* Create the output directory (and parents) if needed, so pointing
+     CC_BENCH_OUT at a fresh path just works. *)
+  let rec ensure dir =
+    if not (Sys.file_exists dir) then begin
+      let parent = Filename.dirname dir in
+      if parent <> dir then ensure parent;
+      Sys.mkdir dir 0o755
+    end
+  in
+  ensure out_dir
+
+(* In reduced mode every sweep keeps a prefix/subset of the full instance
+   list, so reduced rows are a subset of full rows (same keys). *)
+let sizes ~full ~reduced:r = if reduced then r else full
 
 let line = String.make 78 '-'
 
@@ -20,29 +55,199 @@ let phases_str ps =
   ^ String.concat " " (List.map (fun (p, r) -> Printf.sprintf "%s=%d" p r) ps)
   ^ "]"
 
+(* ------------------------------------------------- telemetry assembly *)
+
+type series = { s_name : string; s_seed : int64; s_rows : J.t list }
+
+type experiment = {
+  x_id : string;
+  x_title : string;
+  x_series : series list;
+  x_registry : Metrics.t;
+  x_note : string option;
+}
+
+(* One registry per experiment: every row's per-phase breakdown is ingested
+   (counters rounds.<phase> / rounds.total), row totals feed the row_rounds
+   histogram, and the matching Bechamel estimate lands in a span — so the
+   "metrics" section of each BENCH file is a faithful aggregate of the
+   series it sits next to. *)
+let row registry ~key ?(params = []) ?ref_rounds ?(stats = []) ~rounds ~phases
+    () =
+  Metrics.ingest_phases registry ~prefix:"rounds" phases;
+  Metrics.incr (Metrics.counter registry "rows");
+  Metrics.observe (Metrics.histogram registry "row_rounds") rounds;
+  J.Assoc
+    [
+      ("key", J.String key);
+      ("params", J.Assoc params);
+      ( "rounds",
+        J.Assoc
+          ([ ("total", J.Int rounds) ]
+          @ (match ref_rounds with
+            | Some r -> [ ("ref", J.Int r) ]
+            | None -> [])
+          @ [
+              ( "phases",
+                J.Assoc (List.map (fun (p, r) -> (p, J.Int r)) phases) );
+            ]) );
+      ("stats", J.Assoc stats);
+    ]
+
+let experiment ~id ~title ?note registry series =
+  {
+    x_id = id;
+    x_title = title;
+    x_series = series;
+    x_registry = registry;
+    x_note = note;
+  }
+
+(* Resolve HEAD by hand (reading .git directly keeps the harness free of
+   subprocesses); overridable via GIT_REV for odd checkouts. *)
+let git_rev () =
+  match Sys.getenv_opt "GIT_REV" with
+  | Some r -> r
+  | None -> (
+    let read_first_line path =
+      if Sys.file_exists path then begin
+        let ic = open_in path in
+        let l = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        Some (String.trim l)
+      end
+      else None
+    in
+    let rec find_git dir depth =
+      if depth > 6 then None
+      else if Sys.file_exists (Filename.concat dir ".git") then
+        Some (Filename.concat dir ".git")
+      else find_git (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+    in
+    match find_git "." 0 with
+    | None -> "unknown"
+    | Some git -> (
+      match read_first_line (Filename.concat git "HEAD") with
+      | None -> "unknown"
+      | Some head ->
+        let prefix = "ref: " in
+        if String.length head > String.length prefix
+           && String.sub head 0 (String.length prefix) = prefix
+        then
+          let r =
+            String.sub head (String.length prefix)
+              (String.length head - String.length prefix)
+          in
+          Option.value (read_first_line (Filename.concat git r))
+            ~default:"unknown"
+        else head))
+
+let write_bench x ~wall_clock =
+  (* Attach this experiment's Bechamel estimates ("repro/e<k>-..." kernels)
+     both to the JSON and, as spans, to the registry. *)
+  let mine =
+    List.filter
+      (fun (name, _) ->
+        let tag = String.lowercase_ascii x.x_id ^ "-" in
+        String.length name >= String.length tag
+        && String.sub name 0 (String.length tag) = tag)
+      wall_clock
+  in
+  List.iter
+    (fun (name, ns) ->
+      Metrics.add_duration (Metrics.span x.x_registry ("wall." ^ name))
+        (ns /. 1e9))
+    mine;
+  let json =
+    J.Assoc
+      ([
+         ("schema_version", J.Int 1);
+         ("experiment", J.String x.x_id);
+         ("title", J.String x.x_title);
+         ("mode", J.String mode);
+         ("git_rev", J.String (git_rev ()));
+       ]
+      @ (match x.x_note with
+        | Some n -> [ ("note", J.String n) ]
+        | None -> [])
+      @ [
+          ( "series",
+            J.List
+              (List.map
+                 (fun s ->
+                   J.Assoc
+                     [
+                       ("name", J.String s.s_name);
+                       ("seed", J.Int (Int64.to_int s.s_seed));
+                       ("rows", J.List s.s_rows);
+                     ])
+                 x.x_series) );
+          ( "wall_clock",
+            J.Assoc
+              (List.map
+                 (fun (name, ns) ->
+                   (name, J.Assoc [ ("time_per_run_ns", J.Float ns) ]))
+                 mine) );
+          ("metrics", Metrics.to_json x.x_registry);
+        ])
+  in
+  let path = Filename.concat out_dir ("BENCH_" ^ x.x_id ^ ".json") in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  path
+
 (* ------------------------------------------------------------------- E1 *)
 
 let e1_sparsifier () =
   header
     "E1 | Theorem 3.3 - deterministic spectral sparsifier: size O(n log n \
      log U), measured alpha";
+  let reg = Metrics.create () in
   Printf.printf "%6s %6s %4s %8s %10s %8s %10s %12s\n" "n" "m" "U" "|E(H)|"
     "alpha" "rounds" "ref" "size-bound";
-  List.iter
-    (fun (n, u) ->
-      let g =
-        if u = 1 then Gen.connected_gnp ~seed:3L n 0.5
-        else Gen.weighted_gnp ~seed:3L n 0.5 u
-      in
-      let r = Sparsify.Spectral.sparsify g in
-      let h = r.Sparsify.Spectral.sparsifier in
-      let alpha = Sparsify.Quality.approximation_factor g h in
-      Printf.printf "%6d %6d %4d %8d %10.2f %8d %10d %12d  %s\n" n (Graph.m g)
-        u (Graph.m h) alpha r.Sparsify.Spectral.rounds
-        (Sparsify.Spectral.rounds_bound ~n ~u:(float_of_int u) ~gamma:0.25)
-        (Sparsify.Spectral.size_bound ~n ~u:(float_of_int u))
-        (phases_str r.Sparsify.Spectral.phase_rounds))
-    [ (40, 1); (60, 1); (80, 1); (100, 1); (60, 16); (60, 256) ]
+  let rows =
+    List.map
+      (fun (n, u) ->
+        let g =
+          if u = 1 then Gen.connected_gnp ~seed:3L n 0.5
+          else Gen.weighted_gnp ~seed:3L n 0.5 u
+        in
+        let r = Sparsify.Spectral.sparsify g in
+        let h = r.Sparsify.Spectral.sparsifier in
+        let alpha = Sparsify.Quality.approximation_factor g h in
+        let ref_rounds =
+          Sparsify.Spectral.rounds_bound ~n ~u:(float_of_int u) ~gamma:0.25
+        in
+        let size_bound = Sparsify.Spectral.size_bound ~n ~u:(float_of_int u) in
+        Printf.printf "%6d %6d %4d %8d %10.2f %8d %10d %12d  %s\n" n
+          (Graph.m g) u (Graph.m h) alpha r.Sparsify.Spectral.rounds
+          ref_rounds size_bound
+          (phases_str r.Sparsify.Spectral.phase_rounds);
+        row reg
+          ~key:(Printf.sprintf "n=%d u=%d" n u)
+          ~params:[ ("n", J.Int n); ("u", J.Int u) ]
+          ~ref_rounds
+          ~stats:
+            [
+              ("m", J.Int (Graph.m g));
+              ("sparsifier_edges", J.Int (Graph.m h));
+              ("alpha", J.Float alpha);
+              ("size_bound", J.Int size_bound);
+            ]
+          ~rounds:r.Sparsify.Spectral.rounds
+          ~phases:r.Sparsify.Spectral.phase_rounds ())
+      (sizes
+         ~full:[ (40, 1); (60, 1); (80, 1); (100, 1); (60, 16); (60, 256) ]
+         ~reduced:[ (40, 1); (60, 16) ])
+  in
+  experiment ~id:"E1"
+    ~title:
+      "Theorem 3.3 - deterministic spectral sparsifier: size O(n log n log \
+       U), measured alpha"
+    reg
+    [ { s_name = "size-and-alpha"; s_seed = 3L; s_rows = rows } ]
 
 (* ------------------------------------------------------------------- E2 *)
 
@@ -50,6 +255,7 @@ let e2_solver () =
   header
     "E2 | Theorem 1.1 / Corollary 2.3 - Laplacian solver: iterations ~ \
      sqrt(kappa) log(1/eps), rounds ~ n^{o(1)} log(U/eps)";
+  let reg = Metrics.create () in
   let n = 60 in
   let g = Gen.weighted_gnp ~seed:5L n 0.3 8 in
   let b = Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1)) in
@@ -57,33 +263,71 @@ let e2_solver () =
   Printf.printf "eps sweep at n=%d m=%d (sparsifier reused):\n" n (Graph.m g);
   Printf.printf "%10s %6s %8s %10s %14s %12s\n" "eps" "iters" "ref" "rounds"
     "measured err" "cg rounds";
-  List.iter
-    (fun eps ->
-      let r = Laplacian.Solver.solve_with_sparsifier ~eps g sp b in
-      let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
-      let reference =
-        Linalg.Chebyshev.iteration_bound ~kappa:r.Laplacian.Solver.kappa ~eps
-      in
-      let cg = Laplacian.Solver.solve_cg_baseline ~eps g b in
-      Printf.printf "%10.0e %6d %8d %10d %14.2e %12d  %s\n" eps
-        r.Laplacian.Solver.iterations reference r.Laplacian.Solver.rounds err
-        cg.Laplacian.Solver.rounds
-        (phases_str r.Laplacian.Solver.phase_rounds))
-    [ 1e-1; 1e-2; 1e-4; 1e-6; 1e-8 ];
+  let eps_rows =
+    List.map
+      (fun eps ->
+        let r = Laplacian.Solver.solve_with_sparsifier ~eps g sp b in
+        let err = Laplacian.Solver.error_in_l_norm g r.Laplacian.Solver.x b in
+        let reference =
+          Linalg.Chebyshev.iteration_bound ~kappa:r.Laplacian.Solver.kappa ~eps
+        in
+        let cg = Laplacian.Solver.solve_cg_baseline ~eps g b in
+        Printf.printf "%10.0e %6d %8d %10d %14.2e %12d  %s\n" eps
+          r.Laplacian.Solver.iterations reference r.Laplacian.Solver.rounds
+          err cg.Laplacian.Solver.rounds
+          (phases_str r.Laplacian.Solver.phase_rounds);
+        row reg
+          ~key:(Printf.sprintf "eps=%.0e" eps)
+          ~params:[ ("n", J.Int n); ("eps", J.Float eps) ]
+          ~stats:
+            [
+              ("iterations", J.Int r.Laplacian.Solver.iterations);
+              ("iteration_bound", J.Int reference);
+              ("error", J.Float err);
+              ("cg_rounds", J.Int cg.Laplacian.Solver.rounds);
+            ]
+          ~rounds:r.Laplacian.Solver.rounds
+          ~phases:r.Laplacian.Solver.phase_rounds ())
+      (sizes
+         ~full:[ 1e-1; 1e-2; 1e-4; 1e-6; 1e-8 ]
+         ~reduced:[ 1e-2; 1e-6 ])
+  in
   Printf.printf "\nn sweep at eps=1e-6 (full pipeline incl. sparsifier):\n";
   Printf.printf "%6s %6s %8s %8s %10s\n" "n" "m" "iters" "rounds" "kappa";
-  List.iter
-    (fun n ->
-      let g = Gen.connected_gnp ~seed:7L n 0.3 in
-      let b =
-        Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
-      in
-      let r = Laplacian.Solver.solve ~eps:1e-6 g b in
-      Printf.printf "%6d %6d %8d %8d %10.2f  %s\n" n (Graph.m g)
-        r.Laplacian.Solver.iterations r.Laplacian.Solver.rounds
-        r.Laplacian.Solver.kappa
-        (phases_str r.Laplacian.Solver.phase_rounds))
-    [ 30; 60; 90; 120 ]
+  let n_rows =
+    List.map
+      (fun n ->
+        let g = Gen.connected_gnp ~seed:7L n 0.3 in
+        let b =
+          Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
+        in
+        let r = Laplacian.Solver.solve ~eps:1e-6 g b in
+        Printf.printf "%6d %6d %8d %8d %10.2f  %s\n" n (Graph.m g)
+          r.Laplacian.Solver.iterations r.Laplacian.Solver.rounds
+          r.Laplacian.Solver.kappa
+          (phases_str r.Laplacian.Solver.phase_rounds);
+        row reg
+          ~key:(Printf.sprintf "n=%d" n)
+          ~params:[ ("n", J.Int n); ("eps", J.Float 1e-6) ]
+          ~stats:
+            [
+              ("m", J.Int (Graph.m g));
+              ("iterations", J.Int r.Laplacian.Solver.iterations);
+              ("kappa", J.Float r.Laplacian.Solver.kappa);
+            ]
+          ~rounds:r.Laplacian.Solver.rounds
+          ~phases:r.Laplacian.Solver.phase_rounds ())
+      (sizes ~full:[ 30; 60; 90; 120 ] ~reduced:[ 30; 60 ])
+  in
+  experiment ~id:"E2"
+    ~title:
+      "Theorem 1.1 / Corollary 2.3 - Laplacian solver: iterations ~ \
+       sqrt(kappa) log(1/eps), rounds ~ n^{o(1)} log(U/eps)"
+    reg
+    [
+      { s_name = "eps-sweep"; s_seed = 5L; s_rows = eps_rows };
+      { s_name = "n-sweep"; s_seed = 7L; s_rows = n_rows };
+    ]
 
 (* ------------------------------------------------------------------- E3 *)
 
@@ -91,30 +335,55 @@ let e3_euler () =
   header
     "E3 | Theorem 1.4 - Eulerian orientation: O(log n log* n) rounds \
      (trivial algorithm: Theta(n))";
+  let reg = Metrics.create () in
   Printf.printf "%7s %8s %8s %7s %10s %10s %10s\n" "n" "m" "rounds" "iters"
     "ref" "random" "trivial";
-  List.iter
-    (fun n ->
-      let g = Gen.cycle_union ~seed:5L n (max 3 (n / 16)) in
-      let r = Euler.Orientation.orient g in
-      assert (Euler.Orientation.check g r.Euler.Orientation.orientation);
-      (* The paper's randomized remark: sampling instead of coloring. *)
-      let rnd =
-        Euler.Orientation.orient ~selector:(Euler.Orientation.Sampling 1L) g
-      in
-      assert (Euler.Orientation.check g rnd.Euler.Orientation.orientation);
-      Printf.printf "%7d %8d %8d %7d %10d %10d %10d  %s\n" n (Graph.m g)
-        r.Euler.Orientation.rounds r.Euler.Orientation.iterations
-        (Euler.Orientation.rounds_reference ~n)
-        rnd.Euler.Orientation.rounds n
-        (phases_str r.Euler.Orientation.phase_rounds))
-    [ 64; 128; 256; 512; 1024; 2048; 4096 ]
+  let rows =
+    List.map
+      (fun n ->
+        let g = Gen.cycle_union ~seed:5L n (max 3 (n / 16)) in
+        let r = Euler.Orientation.orient g in
+        assert (Euler.Orientation.check g r.Euler.Orientation.orientation);
+        (* The paper's randomized remark: sampling instead of coloring. *)
+        let rnd =
+          Euler.Orientation.orient ~selector:(Euler.Orientation.Sampling 1L) g
+        in
+        assert (Euler.Orientation.check g rnd.Euler.Orientation.orientation);
+        let ref_rounds = Euler.Orientation.rounds_reference ~n in
+        Printf.printf "%7d %8d %8d %7d %10d %10d %10d  %s\n" n (Graph.m g)
+          r.Euler.Orientation.rounds r.Euler.Orientation.iterations ref_rounds
+          rnd.Euler.Orientation.rounds n
+          (phases_str r.Euler.Orientation.phase_rounds);
+        row reg
+          ~key:(Printf.sprintf "n=%d" n)
+          ~params:[ ("n", J.Int n) ]
+          ~ref_rounds
+          ~stats:
+            [
+              ("m", J.Int (Graph.m g));
+              ("iterations", J.Int r.Euler.Orientation.iterations);
+              ("random_rounds", J.Int rnd.Euler.Orientation.rounds);
+              ("trivial_rounds", J.Int n);
+            ]
+          ~rounds:r.Euler.Orientation.rounds
+          ~phases:r.Euler.Orientation.phase_rounds ())
+      (sizes
+         ~full:[ 64; 128; 256; 512; 1024; 2048; 4096 ]
+         ~reduced:[ 64; 128; 256 ])
+  in
+  experiment ~id:"E3"
+    ~title:
+      "Theorem 1.4 - Eulerian orientation: O(log n log* n) rounds (trivial \
+       algorithm: Theta(n))"
+    reg
+    [ { s_name = "n-sweep"; s_seed = 5L; s_rows = rows } ]
 
 (* ------------------------------------------------------------------- E4 *)
 
 let e4_rounding () =
   header
     "E4 | Lemma 4.2 - flow rounding: O(log n log* n log(1/Delta)) rounds";
+  let reg = Metrics.create () in
   let g = Gen.layered_network ~seed:11L 4 4 6 in
   let t = Digraph.n g - 1 in
   let f, v = Dinic.max_flow g ~s:0 ~t in
@@ -123,31 +392,50 @@ let e4_rounding () =
     (Digraph.n g) (Digraph.m g) v;
   Printf.printf "%4s %12s %8s %8s %14s\n" "k" "delta" "rounds" "levels"
     "value kept";
-  List.iter
-    (fun k ->
-      let delta = 1. /. float_of_int (1 lsl k) in
-      (* 2/3 has an infinite binary expansion, so after flooring to the grid
-         every level keeps odd digits and must orient. *)
-      let frac = Array.map (fun x -> 2. /. 3. *. x) f in
-      let items = Decompose.decompose g ~s:0 ~t frac in
-      let q = Decompose.accumulate g (Decompose.quantize_paths ~delta items) in
-      let r = Rounding.Flow_rounding.round g ~s:0 ~t ~delta q in
-      assert (Flow.is_integral r.Rounding.Flow_rounding.f);
-      assert (Flow.is_feasible g ~s:0 ~t ~f:r.Rounding.Flow_rounding.f);
-      Printf.printf "%4d %12g %8d %8d %14g  %s\n" k delta
-        r.Rounding.Flow_rounding.rounds r.Rounding.Flow_rounding.levels
-        (Flow.value g ~s:0 ~f:r.Rounding.Flow_rounding.f)
-        (phases_str r.Rounding.Flow_rounding.phase_rounds))
-    [ 2; 4; 6; 8; 10; 12 ]
+  let rows =
+    List.map
+      (fun k ->
+        let delta = 1. /. float_of_int (1 lsl k) in
+        (* 2/3 has an infinite binary expansion, so after flooring to the
+           grid every level keeps odd digits and must orient. *)
+        let frac = Array.map (fun x -> 2. /. 3. *. x) f in
+        let items = Decompose.decompose g ~s:0 ~t frac in
+        let q =
+          Decompose.accumulate g (Decompose.quantize_paths ~delta items)
+        in
+        let r = Rounding.Flow_rounding.round g ~s:0 ~t ~delta q in
+        assert (Flow.is_integral r.Rounding.Flow_rounding.f);
+        assert (Flow.is_feasible g ~s:0 ~t ~f:r.Rounding.Flow_rounding.f);
+        let kept = Flow.value g ~s:0 ~f:r.Rounding.Flow_rounding.f in
+        Printf.printf "%4d %12g %8d %8d %14g  %s\n" k delta
+          r.Rounding.Flow_rounding.rounds r.Rounding.Flow_rounding.levels kept
+          (phases_str r.Rounding.Flow_rounding.phase_rounds);
+        row reg
+          ~key:(Printf.sprintf "k=%d" k)
+          ~params:[ ("k", J.Int k); ("delta", J.Float delta) ]
+          ~stats:
+            [
+              ("levels", J.Int r.Rounding.Flow_rounding.levels);
+              ("value_kept", J.Float kept);
+            ]
+          ~rounds:r.Rounding.Flow_rounding.rounds
+          ~phases:r.Rounding.Flow_rounding.phase_rounds ())
+      (sizes ~full:[ 2; 4; 6; 8; 10; 12 ] ~reduced:[ 2; 6 ])
+  in
+  experiment ~id:"E4"
+    ~title:"Lemma 4.2 - flow rounding: O(log n log* n log(1/Delta)) rounds"
+    reg
+    [ { s_name = "grain-sweep"; s_seed = 11L; s_rows = rows } ]
 
 (* ------------------------------------------------------------------- E5 *)
 
 let e5_maxflow () =
   header
     "E5 | Theorem 1.2 - max flow: m^{3/7+o(1)} U^{1/7} rounds vs baselines";
+  let reg = Metrics.create () in
   Printf.printf "%5s %5s %4s %5s %9s %9s %10s %9s %9s %8s\n" "n" "m" "U"
     "|f*|" "ipm-iter" "iter-ref" "ipm-rnds" "ff-rnds" "triv-rnds" "repairs";
-  let run g u =
+  let run key params g u =
     let n = Digraph.n g in
     let r = Maxflow_ipm.max_flow g ~s:0 ~t:(n - 1) in
     let ff = Ford_fulkerson.max_flow g ~s:0 ~t:(n - 1) in
@@ -158,14 +446,51 @@ let e5_maxflow () =
       (Maxflow_ipm.iterations_reference ~m:(Digraph.m g) ~u)
       r.Maxflow_ipm.rounds ff.Ford_fulkerson.rounds triv.Trivial.rounds
       r.Maxflow_ipm.repair_augmentations
-      (phases_str r.Maxflow_ipm.phase_rounds)
+      (phases_str r.Maxflow_ipm.phase_rounds);
+    row reg ~key
+      ~params:(params @ [ ("u", J.Int u) ])
+      ~stats:
+        [
+          ("n", J.Int n);
+          ("m", J.Int (Digraph.m g));
+          ("value", J.Int r.Maxflow_ipm.value);
+          ("ipm_iterations", J.Int r.Maxflow_ipm.ipm_iterations);
+          ( "iteration_bound",
+            J.Int (Maxflow_ipm.iterations_reference ~m:(Digraph.m g) ~u) );
+          ("ff_rounds", J.Int ff.Ford_fulkerson.rounds);
+          ("trivial_rounds", J.Int triv.Trivial.rounds);
+          ("repair_augmentations", J.Int r.Maxflow_ipm.repair_augmentations);
+        ]
+      ~rounds:r.Maxflow_ipm.rounds ~phases:r.Maxflow_ipm.phase_rounds ()
   in
   Printf.printf "m sweep (layered networks, U = 8):\n";
-  List.iter
-    (fun layers -> run (Gen.layered_network ~seed:13L layers 4 8) 8)
-    [ 2; 3; 4; 5; 6 ];
+  let m_rows =
+    List.map
+      (fun layers ->
+        run
+          (Printf.sprintf "layers=%d" layers)
+          [ ("layers", J.Int layers) ]
+          (Gen.layered_network ~seed:13L layers 4 8)
+          8)
+      (sizes ~full:[ 2; 3; 4; 5; 6 ] ~reduced:[ 2; 3 ])
+  in
   Printf.printf "U sweep (fixed 4x4 layered topology):\n";
-  List.iter (fun u -> run (Gen.layered_network ~seed:13L 4 4 u) u) [ 1; 8; 64 ]
+  let u_rows =
+    List.map
+      (fun u ->
+        run (Printf.sprintf "u=%d" u) []
+          (Gen.layered_network ~seed:13L 4 4 u)
+          u)
+      (sizes ~full:[ 1; 8; 64 ] ~reduced:[ 1; 8 ])
+  in
+  experiment ~id:"E5"
+    ~title:
+      "Theorem 1.2 - max flow: m^{3/7+o(1)} U^{1/7} rounds vs baselines"
+    reg
+    [
+      { s_name = "m-sweep"; s_seed = 13L; s_rows = m_rows };
+      { s_name = "u-sweep"; s_seed = 13L; s_rows = u_rows };
+    ]
 
 (* ------------------------------------------------------------------- E6 *)
 
@@ -173,9 +498,10 @@ let e6_mincost () =
   header
     "E6 | Theorem 1.3 - unit-capacity min-cost flow: ~m^{3/7}(n^{0.158} + \
      polylog W) rounds";
+  let reg = Metrics.create () in
   Printf.printf "%5s %5s %5s %9s %9s %10s %10s %8s\n" "n" "m" "W" "ipm-iter"
     "iter-ref" "ipm-rnds" "ssp-rnds" "repairs";
-  let run g sigma w =
+  let run key params g sigma w =
     match (Mcf_ipm.solve g ~sigma, Mcf_ssp.solve g ~sigma) with
     | Some r, Some oracle ->
       assert (Float.abs (r.Mcf_ipm.cost -. oracle.Mcf_ssp.cost) < 1e-6);
@@ -183,116 +509,254 @@ let e6_mincost () =
         (Digraph.m g) w r.Mcf_ipm.ipm_iterations
         (Mcf_ipm.iterations_reference ~m:(Digraph.m g) ~w)
         r.Mcf_ipm.rounds oracle.Mcf_ssp.rounds r.Mcf_ipm.repair_augmentations
-        (phases_str r.Mcf_ipm.phase_rounds)
-    | None, None -> Printf.printf "      (infeasible instance skipped)\n"
+        (phases_str r.Mcf_ipm.phase_rounds);
+      Some
+        (row reg ~key
+           ~params:(params @ [ ("w", J.Int w) ])
+           ~stats:
+             [
+               ("n", J.Int (Digraph.n g));
+               ("m", J.Int (Digraph.m g));
+               ("cost", J.Float r.Mcf_ipm.cost);
+               ("ipm_iterations", J.Int r.Mcf_ipm.ipm_iterations);
+               ( "iteration_bound",
+                 J.Int (Mcf_ipm.iterations_reference ~m:(Digraph.m g) ~w) );
+               ("ssp_rounds", J.Int oracle.Mcf_ssp.rounds);
+               ( "repair_augmentations",
+                 J.Int r.Mcf_ipm.repair_augmentations );
+             ]
+           ~rounds:r.Mcf_ipm.rounds ~phases:r.Mcf_ipm.phase_rounds ())
+    | None, None ->
+      Printf.printf "      (infeasible instance skipped)\n";
+      None
     | _ -> failwith "ipm/oracle feasibility disagreement"
   in
   Printf.printf "m sweep (random unit-capacity instances, W = 10):\n";
-  List.iter
-    (fun (n, m) ->
-      let g, sigma = Gen.random_mcf ~seed:17L n m 10 in
-      run g sigma 10)
-    [ (8, 16); (10, 28); (12, 40); (14, 56) ];
+  let m_rows =
+    List.filter_map
+      (fun (n, m) ->
+        let g, sigma = Gen.random_mcf ~seed:17L n m 10 in
+        run (Printf.sprintf "n=%d m=%d" n m) [] g sigma 10)
+      (sizes
+         ~full:[ (8, 16); (10, 28); (12, 40); (14, 56) ]
+         ~reduced:[ (8, 16); (10, 28) ])
+  in
   Printf.printf "W sweep (fixed topology):\n";
-  List.iter
-    (fun w ->
-      let g, sigma = Gen.random_mcf ~seed:19L 10 30 w in
-      run g sigma w)
-    [ 2; 16; 128 ];
+  let w_rows =
+    List.filter_map
+      (fun w ->
+        let g, sigma = Gen.random_mcf ~seed:19L 10 30 w in
+        run (Printf.sprintf "w=%d" w) [] g sigma w)
+      (sizes ~full:[ 2; 16; 128 ] ~reduced:[ 2; 16 ])
+  in
   Printf.printf
     "engine comparison (same instance; direct two-sided barrier vs verbatim\n\
     \ Appendix C bipartite lift):\n";
   let g, sigma = Gen.random_mcf ~seed:17L 10 28 10 in
-  (match (Mcf_ipm.solve g ~sigma, Cmsv_bipartite.solve g ~sigma) with
-  | Some d, Some v ->
-    Printf.printf
-      "  direct:   cost=%g iters=%d rounds=%d %s\n\
-      \  verbatim: cost=%g iters=%d rounds=%d perturbations=%d\n"
-      d.Mcf_ipm.cost d.Mcf_ipm.ipm_iterations d.Mcf_ipm.rounds
-      (phases_str d.Mcf_ipm.phase_rounds)
-      v.Cmsv_bipartite.cost v.Cmsv_bipartite.ipm_iterations
-      v.Cmsv_bipartite.rounds v.Cmsv_bipartite.perturbations
-  | _ -> Printf.printf "  (instance infeasible)\n")
+  let engine_rows =
+    match (Mcf_ipm.solve g ~sigma, Cmsv_bipartite.solve g ~sigma) with
+    | Some d, Some v ->
+      Printf.printf
+        "  direct:   cost=%g iters=%d rounds=%d %s\n\
+        \  verbatim: cost=%g iters=%d rounds=%d perturbations=%d\n"
+        d.Mcf_ipm.cost d.Mcf_ipm.ipm_iterations d.Mcf_ipm.rounds
+        (phases_str d.Mcf_ipm.phase_rounds)
+        v.Cmsv_bipartite.cost v.Cmsv_bipartite.ipm_iterations
+        v.Cmsv_bipartite.rounds v.Cmsv_bipartite.perturbations;
+      [
+        row reg ~key:"engine=direct"
+          ~stats:
+            [
+              ("cost", J.Float d.Mcf_ipm.cost);
+              ("ipm_iterations", J.Int d.Mcf_ipm.ipm_iterations);
+            ]
+          ~rounds:d.Mcf_ipm.rounds ~phases:d.Mcf_ipm.phase_rounds ();
+        row reg ~key:"engine=verbatim-appendix-c"
+          ~stats:
+            [
+              ("cost", J.Float v.Cmsv_bipartite.cost);
+              ("ipm_iterations", J.Int v.Cmsv_bipartite.ipm_iterations);
+              ("perturbations", J.Int v.Cmsv_bipartite.perturbations);
+            ]
+          ~rounds:v.Cmsv_bipartite.rounds ~phases:[] ();
+      ]
+    | _ ->
+      Printf.printf "  (instance infeasible)\n";
+      []
+  in
+  experiment ~id:"E6"
+    ~title:
+      "Theorem 1.3 - unit-capacity min-cost flow: ~m^{3/7}(n^{0.158} + \
+       polylog W) rounds"
+    reg
+    [
+      { s_name = "m-sweep"; s_seed = 17L; s_rows = m_rows };
+      { s_name = "w-sweep"; s_seed = 19L; s_rows = w_rows };
+      { s_name = "engine-comparison"; s_seed = 17L; s_rows = engine_rows };
+    ]
 
 (* ------------------------------------------------------------------- E7 *)
+
+(* Satellite fix: this caveat previously lived only in ford_fulkerson.mli,
+   leaving the printed table unexplained. *)
+let e7_note =
+  "ff augmentation is Edmonds-Karp-style: each of the |f*| iterations finds \
+   a shortest augmenting path by one s-t reachability query on the residual \
+   graph, charged at the CKKL'19 rate of ceil(n^0.158) rounds (see \
+   lib/flow/ford_fulkerson.mli); ff-worst is the resulting \
+   O(|f*| n^0.158) curve."
 
 let e7_baselines () =
   header
     "E7 | baselines of 1.1 - Ford-Fulkerson O(|f*| n^{0.158}) vs trivial \
      O(n log U): crossover at |f*| = o(n^{0.842} log U)";
+  let reg = Metrics.create () in
   Printf.printf "%5s %5s %6s %7s %10s %10s %12s %10s\n" "n" "m" "U" "|f*|"
     "ff-rounds" "ff-worst" "triv-rounds" "ipm-rnds";
-  List.iter
-    (fun u ->
-      let g = Gen.layered_network ~seed:23L 4 4 u in
-      let n = Digraph.n g in
-      let ff = Ford_fulkerson.max_flow g ~s:0 ~t:(n - 1) in
-      let triv = Trivial.max_flow g ~s:0 ~t:(n - 1) in
-      let ipm = Maxflow_ipm.max_flow g ~s:0 ~t:(n - 1) in
-      Printf.printf "%5d %5d %6d %7d %10d %10d %12d %10d  %s\n" n
-        (Digraph.m g) u ff.Ford_fulkerson.value ff.Ford_fulkerson.rounds
-        (Ford_fulkerson.rounds_reference ~n ~value:ff.Ford_fulkerson.value)
-        triv.Trivial.rounds ipm.Maxflow_ipm.rounds
-        (phases_str ipm.Maxflow_ipm.phase_rounds))
-    [ 1; 4; 16; 64; 256 ]
+  let rows =
+    List.map
+      (fun u ->
+        let g = Gen.layered_network ~seed:23L 4 4 u in
+        let n = Digraph.n g in
+        let ff = Ford_fulkerson.max_flow g ~s:0 ~t:(n - 1) in
+        let triv = Trivial.max_flow g ~s:0 ~t:(n - 1) in
+        let ipm = Maxflow_ipm.max_flow g ~s:0 ~t:(n - 1) in
+        let worst =
+          Ford_fulkerson.rounds_reference ~n ~value:ff.Ford_fulkerson.value
+        in
+        Printf.printf "%5d %5d %6d %7d %10d %10d %12d %10d  %s\n" n
+          (Digraph.m g) u ff.Ford_fulkerson.value ff.Ford_fulkerson.rounds
+          worst triv.Trivial.rounds ipm.Maxflow_ipm.rounds
+          (phases_str ipm.Maxflow_ipm.phase_rounds);
+        row reg
+          ~key:(Printf.sprintf "u=%d" u)
+          ~params:[ ("u", J.Int u) ]
+          ~ref_rounds:worst
+          ~stats:
+            [
+              ("n", J.Int n);
+              ("m", J.Int (Digraph.m g));
+              ("value", J.Int ff.Ford_fulkerson.value);
+              ("iterations", J.Int ff.Ford_fulkerson.iterations);
+              ("trivial_rounds", J.Int triv.Trivial.rounds);
+              ("ipm_rounds", J.Int ipm.Maxflow_ipm.rounds);
+            ]
+          ~rounds:ff.Ford_fulkerson.rounds ~phases:[] ())
+      (sizes ~full:[ 1; 4; 16; 64; 256 ] ~reduced:[ 1; 16 ])
+  in
+  Printf.printf "note: %s\n" e7_note;
+  (reg, rows)
 
 (* ------------------------------------------------------------------ E7b *)
 
-let e7b_models () =
+let e7b_models reg =
   header
     "E7b | model comparison - congested clique vs CONGEST (FGLP+21) vs \
      Broadcast Congested Clique (FV22) reference curves";
   Printf.printf "%9s %11s %6s %13s %15s %11s\n" "n" "m" "D" "clique-ref"
     "congest-ref" "bcc-ref";
-  List.iter
-    (fun (n, d) ->
-      let m = n * 50 in
-      Printf.printf "%9d %11d %6d %13d %15d %11d\n" n m d
-        (Maxflow_ipm.rounds_reference ~n ~m ~u:16)
-        (Clique.Congest.fglp_maxflow_rounds ~n ~m ~d ~u:16)
-        (Clique.Congest.fv22_bcc_mcf_rounds ~n))
-    [ (1000, 10); (10000, 15); (100000, 20); (1000000, 25) ];
+  let rows =
+    List.map
+      (fun (n, d) ->
+        let m = n * 50 in
+        let clique = Maxflow_ipm.rounds_reference ~n ~m ~u:16 in
+        let congest = Clique.Congest.fglp_maxflow_rounds ~n ~m ~d ~u:16 in
+        let bcc = Clique.Congest.fv22_bcc_mcf_rounds ~n in
+        Printf.printf "%9d %11d %6d %13d %15d %11d\n" n m d clique congest
+          bcc;
+        row reg
+          ~key:(Printf.sprintf "n=%d" n)
+          ~params:[ ("n", J.Int n); ("m", J.Int m); ("d", J.Int d) ]
+          ~stats:
+            [ ("congest_ref", J.Int congest); ("bcc_ref", J.Int bcc) ]
+          ~rounds:clique ~phases:[] ())
+      [ (1000, 10); (10000, 15); (100000, 20); (1000000, 25) ]
+  in
   Printf.printf
     "(BCC column is FV22's randomized sqrt(n) min-cost flow - the paper's\n\
-    \ only deterministic competitors are the trivial and FF baselines of E7)\n"
+    \ only deterministic competitors are the trivial and FF baselines of E7)\n";
+  rows
+
+let e7_combined () =
+  let reg, e7_rows = e7_baselines () in
+  let e7b_rows = e7b_models reg in
+  experiment ~id:"E7"
+    ~title:
+      "baselines of 1.1 - Ford-Fulkerson O(|f*| n^{0.158}) vs trivial O(n \
+       log U); E7b cross-model reference curves"
+    ~note:e7_note reg
+    [
+      { s_name = "u-sweep"; s_seed = 23L; s_rows = e7_rows };
+      (* E7b: closed-form curves, no seeded input; 0 marks "no seed". *)
+      { s_name = "e7b-model-comparison"; s_seed = 0L; s_rows = e7b_rows };
+    ]
 
 (* ------------------------------------------------------------------- E8 *)
 
 let e8_ablations () =
   header "E8 | ablations - sparsifier backend and solver choice";
+  let reg = Metrics.create () in
   Printf.printf "sparsifier backend on G(36, 0.5):\n";
   let g = Gen.connected_gnp ~seed:29L 36 0.5 in
   Printf.printf "%22s %8s %10s\n" "backend" "|E(H)|" "alpha";
   let report name h =
-    Printf.printf "%22s %8d %10.2f\n" name (Graph.m h)
-      (Sparsify.Quality.approximation_factor g h)
+    let alpha = Sparsify.Quality.approximation_factor g h in
+    Printf.printf "%22s %8d %10.2f\n" name (Graph.m h) alpha;
+    row reg
+      ~key:("backend=" ^ name)
+      ~stats:
+        [ ("sparsifier_edges", J.Int (Graph.m h)); ("alpha", J.Float alpha) ]
+      ~rounds:0 ~phases:[] ()
   in
-  report "input (identity)" g;
-  report "buckets (Thm 3.3)"
-    (Sparsify.Spectral.sparsify g).Sparsify.Spectral.sparsifier;
-  report "bss d=4" (Sparsify.Bss.sparsify ~d:4 g);
-  report "bss d=6" (Sparsify.Bss.sparsify ~d:6 g);
-  report "spanning tree" (Sparsify.Tree.max_weight_spanning_tree g);
-  report "sampling (randomized)" (Sparsify.Sampling.sparsify ~seed:1L g);
+  (* Bound one at a time so the table prints top-to-bottom (list literals
+     evaluate right-to-left). *)
+  let b1 = report "input (identity)" g in
+  let b2 =
+    report "buckets (Thm 3.3)"
+      (Sparsify.Spectral.sparsify g).Sparsify.Spectral.sparsifier
+  in
+  let b3 = report "bss d=4" (Sparsify.Bss.sparsify ~d:4 g) in
+  let b4 = report "bss d=6" (Sparsify.Bss.sparsify ~d:6 g) in
+  let b5 = report "spanning tree" (Sparsify.Tree.max_weight_spanning_tree g) in
+  let b6 =
+    report "sampling (randomized)" (Sparsify.Sampling.sparsify ~seed:1L g)
+  in
+  let backend_rows = [ b1; b2; b3; b4; b5; b6 ] in
   Printf.printf
     "\nsolver rounds at eps=1e-8 (preconditioned Chebyshev vs plain CG):\n";
   Printf.printf "%22s %12s %12s\n" "graph" "cheby-rnds" "cg-rnds";
-  List.iter
-    (fun (name, g) ->
-      let n = Graph.n g in
-      let b =
-        Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
-      in
-      let r = Laplacian.Solver.solve ~eps:1e-8 g b in
-      let cg = Laplacian.Solver.solve_cg_baseline ~eps:1e-8 g b in
-      Printf.printf "%22s %12d %12d  %s\n" name r.Laplacian.Solver.rounds
-        cg.Laplacian.Solver.rounds
-        (phases_str r.Laplacian.Solver.phase_rounds))
+  let solver_rows =
+    List.map
+      (fun (name, g) ->
+        let n = Graph.n g in
+        let b =
+          Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
+        in
+        let r = Laplacian.Solver.solve ~eps:1e-8 g b in
+        let cg = Laplacian.Solver.solve_cg_baseline ~eps:1e-8 g b in
+        Printf.printf "%22s %12d %12d  %s\n" name r.Laplacian.Solver.rounds
+          cg.Laplacian.Solver.rounds
+          (phases_str r.Laplacian.Solver.phase_rounds);
+        row reg ~key:("graph=" ^ name)
+          ~stats:[ ("cg_rounds", J.Int cg.Laplacian.Solver.rounds) ]
+          ~rounds:r.Laplacian.Solver.rounds
+          ~phases:r.Laplacian.Solver.phase_rounds ())
+      (sizes
+         ~full:
+           [
+             ("expander(64)", Gen.expander 64 8);
+             ("barbell(32)", Gen.barbell 32);
+             ("grid 8x8", Gen.grid 8 8);
+             ("gnp(64, 0.2)", Gen.connected_gnp ~seed:31L 64 0.2);
+           ]
+         ~reduced:
+           [ ("barbell(32)", Gen.barbell 32); ("grid 8x8", Gen.grid 8 8) ])
+  in
+  experiment ~id:"E8"
+    ~title:"ablations - sparsifier backend and solver choice" reg
     [
-      ("expander(64)", Gen.expander 64 8);
-      ("barbell(32)", Gen.barbell 32);
-      ("grid 8x8", Gen.grid 8 8);
-      ("gnp(64, 0.2)", Gen.connected_gnp ~seed:31L 64 0.2);
+      { s_name = "sparsifier-backend"; s_seed = 29L; s_rows = backend_rows };
+      { s_name = "solver-choice"; s_seed = 31L; s_rows = solver_rows };
     ]
 
 (* -------------------------------------------------- Bechamel wall-clock *)
@@ -359,7 +823,11 @@ let wall_clock () =
   let tests =
     Test.make_grouped ~name:"repro" [ e1; e2; e3; e4; e5; e6; e7; e8 ]
   in
-  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:None () in
+  let quota = if reduced then 0.05 else 1.0 in
+  let cfg =
+    Benchmark.cfg ~limit:(if reduced then 5 else 20)
+      ~quota:(Time.second quota) ~kde:None ()
+  in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -367,28 +835,43 @@ let wall_clock () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
   Printf.printf "%30s %16s\n" "kernel" "time/run";
-  List.iter
+  List.filter_map
     (fun (name, est) ->
+      (* Strip the "repro/" group prefix for the JSON keys. *)
+      let short =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
       match Analyze.OLS.estimates est with
       | Some (t :: _) ->
         if t > 1e9 then Printf.printf "%30s %13.2f s \n" name (t /. 1e9)
         else if t > 1e6 then Printf.printf "%30s %13.2f ms\n" name (t /. 1e6)
-        else Printf.printf "%30s %13.2f us\n" name (t /. 1e3)
-      | _ -> Printf.printf "%30s %16s\n" name "n/a")
+        else Printf.printf "%30s %13.2f us\n" name (t /. 1e3);
+        Some (short, t)
+      | _ ->
+        Printf.printf "%30s %16s\n" name "n/a";
+        None)
     (List.sort compare rows)
 
 let () =
   Printf.printf
     "Reproduction benches: 'The Laplacian Paradigm in Deterministic \
-     Congested Clique' (PODC 2023)\n";
-  e1_sparsifier ();
-  e2_solver ();
-  e3_euler ();
-  e4_rounding ();
-  e5_maxflow ();
-  e6_mincost ();
-  e7_baselines ();
-  e7b_models ();
-  e8_ablations ();
-  wall_clock ();
+     Congested Clique' (PODC 2023)%s\n"
+    (if reduced then " [reduced mode]" else "");
+  (* Bind one at a time: list literals evaluate right-to-left, which would
+     print E8 first. *)
+  let x1 = e1_sparsifier () in
+  let x2 = e2_solver () in
+  let x3 = e3_euler () in
+  let x4 = e4_rounding () in
+  let x5 = e5_maxflow () in
+  let x6 = e6_mincost () in
+  let x7 = e7_combined () in
+  let x8 = e8_ablations () in
+  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8 ] in
+  let wall = wall_clock () in
+  let paths = List.map (fun x -> write_bench x ~wall_clock:wall) experiments in
+  Printf.printf "\ntelemetry: wrote %s (schema v1, mode=%s)\n"
+    (String.concat " " paths) mode;
   Printf.printf "\nall experiment series completed.\n"

@@ -1,9 +1,11 @@
 (** Ford–Fulkerson in the congested clique — the §1.1 deterministic baseline.
 
-    [|f*|] iterations, each one s-t reachability query on the residual
-    graph; reachability is charged at the CKKL'19 rate of [O(n^{0.158})]
-    rounds per query, giving the paper's [O(|f*|·n^{0.158})] total. The
-    comparison point for experiment E7. *)
+    Augmentation is Edmonds–Karp-style: each of the [|f*|] iterations finds
+    a shortest augmenting path by one s-t reachability (BFS) query on the
+    residual graph; reachability is charged at the CKKL'19 rate of
+    [O(n^{0.158})] rounds per query, giving the paper's [O(|f*|·n^{0.158})]
+    total. The comparison point for experiment E7 (the bench prints this
+    note as the table footer). *)
 
 type report = {
   f : Flow.t;

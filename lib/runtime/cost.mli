@@ -11,8 +11,10 @@
     "augment"). *)
 
 type t
+(** A mutable ledger: one running total plus a per-phase breakdown. *)
 
 val create : unit -> t
+(** A fresh, empty ledger. *)
 
 val charge : t -> phase:string -> int -> unit
 (** [charge t ~phase r] adds [r] rounds under [phase]. [r ≥ 0]. *)
@@ -21,11 +23,13 @@ val rounds : t -> int
 (** Total rounds charged so far. *)
 
 val phase_rounds : t -> string -> int
+(** Rounds charged under one phase (0 for a phase never charged). *)
 
 val phases : t -> (string * int) list
 (** All phases with their totals, sorted by phase name. *)
 
 val reset : t -> unit
+(** Zero the total and forget every phase. *)
 
 val merge_into : t -> t -> unit
 (** [merge_into src dst] adds all of [src]'s phases into [dst]. *)
@@ -52,6 +56,8 @@ val apsp_rounds : int -> int
     (approximate) APSP/SSSP call (see DESIGN.md substitution 4). *)
 
 val log2_ceil : int -> int
+(** [⌈log₂ k⌉] for [k ≥ 1] (0 for [k ≤ 1]) — the word-size arithmetic used
+    throughout the cost formulas. *)
 
 val gather_rounds : n:int -> m:int -> bits_per_edge:int -> int
 (** Rounds for the trivial algorithm of §1.1: make all [m] edges (each

@@ -43,6 +43,10 @@ module type S = sig
 
   val on_round : t -> (phase:string -> rounds:int -> words:int -> unit) -> unit
 
+  val attach_metrics : t -> Metrics.t -> unit
+
+  val export_metrics : t -> Metrics.t -> unit
+
   val exchange :
     ?width:int ->
     t ->
@@ -180,6 +184,27 @@ module Make (T : TRANSPORT) = struct
     wrap t ~op:Sanitize.Broadcast ~width:w
       ~event:(fun () -> Sanitize.broadcast_event values)
       (fun () -> T.broadcast ?width t.tr values)
+
+  let attach_metrics t m =
+    if Metrics.enabled m then begin
+      let rounds_c = Metrics.counter m "runtime.rounds" in
+      let words_c = Metrics.counter m "runtime.words" in
+      let events_c = Metrics.counter m "runtime.events" in
+      let hist = Metrics.histogram m "runtime.event_rounds" in
+      on_round t (fun ~phase ~rounds ~words ->
+          Metrics.incr ~by:rounds rounds_c;
+          Metrics.incr ~by:words words_c;
+          Metrics.incr events_c;
+          Metrics.observe hist rounds;
+          Metrics.incr ~by:rounds (Metrics.counter m ("phase." ^ phase ^ ".rounds")))
+    end
+
+  let export_metrics t m =
+    if Metrics.enabled m then begin
+      Metrics.ingest_phases m ~prefix:("ledger." ^ kernel) (phases t);
+      Metrics.set (Metrics.gauge m ("ledger." ^ kernel ^ ".words"))
+        (float_of_int t.words)
+    end
 
   let charge ?phase t r =
     let phase = match phase with Some p -> p | None -> t.phase in

@@ -39,15 +39,19 @@ module type S = sig
       and determinism transcripts of {!Sanitize}. *)
 
   val transport : t -> transport
+  (** The kernel this runtime wraps (shared, not copied). *)
 
   val n : t -> int
+  (** Number of nodes of the underlying kernel. *)
 
   val ledger : t -> Cost.t
   (** The single cost ledger all calls charge into. *)
 
   val trace : t -> Trace.t
+  (** The bounded event ring every call records into. *)
 
   val sanitized : t -> bool
+  (** Whether this runtime runs the dynamic {!Sanitize} checks. *)
 
   val sanitizer : t -> Sanitize.t option
   (** The sanitizer state (for reading transcript hashes), if enabled. *)
@@ -62,10 +66,13 @@ module type S = sig
   (** Per-phase round totals, sorted by phase name. *)
 
   val phase_rounds : t -> string -> int
+  (** Rounds charged under one phase (0 if never charged). *)
 
   val current_phase : t -> string
+  (** The phase new charges land under. *)
 
   val set_phase : t -> string -> unit
+  (** Switch the current phase permanently (prefer {!with_phase}). *)
 
   val with_phase : t -> string -> (unit -> 'a) -> 'a
   (** [with_phase t p f] runs [f] with the current phase set to [p],
@@ -74,6 +81,19 @@ module type S = sig
   val on_round : t -> (phase:string -> rounds:int -> words:int -> unit) -> unit
   (** Register an observer called after every call that moved rounds or
       words (communication and analytic charges alike). *)
+
+  val attach_metrics : t -> Metrics.t -> unit
+  (** [attach_metrics t m] registers an {!on_round} observer mirroring the
+      ledger into registry [m] live: counters [runtime.rounds],
+      [runtime.words], [runtime.events] and [phase.<p>.rounds], plus the
+      [runtime.event_rounds] histogram. A no-op (nothing registered) when
+      [m] is disabled, so instrumentation costs one boolean test. *)
+
+  val export_metrics : t -> Metrics.t -> unit
+  (** [export_metrics t m] snapshots the ledger into [m] after the fact:
+      per-phase counters under [ledger.<kernel>.<phase>] (plus [.total])
+      and a [ledger.<kernel>.words] gauge. Useful when the runtime was not
+      instrumented from creation. *)
 
   val exchange :
     ?width:int ->

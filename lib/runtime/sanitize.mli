@@ -40,14 +40,21 @@ val set_default : bool option -> unit
     environment control. *)
 
 type t
+(** Per-runtime sanitizer state: transcript hashes plus the
+    phase-attribution flag. *)
 
 val create : unit -> t
+(** Fresh sanitizer state (empty transcripts). *)
 
 type op = Exchange | Route | Broadcast | Charge
+(** The four runtime operations an event can record. *)
 
 type transcript = { events : int; shape_hash : int64; content_hash : int64 }
+(** Running determinism digests; see the module preamble for what each
+    hash covers. *)
 
 val transcript : t -> transcript
+(** Snapshot of the current transcript hashes and event count. *)
 
 val default_phase : string
 (** ["main"]. *)
@@ -58,8 +65,10 @@ val exchange_event : (int * int array) list array -> int list * int list
 (** [(sizes, content)] of an exchange's outboxes. *)
 
 val route_event : (int * int * int array) list -> int list * int list
+(** [(sizes, content)] of a route call's message multiset. *)
 
 val broadcast_event : int array array -> int list * int list
+(** [(sizes, content)] of a broadcast's per-node values. *)
 
 val record :
   t ->
@@ -76,12 +85,20 @@ val record :
 
 val check_exchange :
   phase:string -> width:int -> (int * int array) list array -> unit
+(** Pre-check an exchange's per-pair word totals against [width]; raises
+    {!Violation} naming [phase] on overflow. *)
 
 val check_route :
   phase:string -> width:int -> (int * int * int array) list -> unit
+(** Pre-check a route's payload sizes against [width]. *)
 
 val check_broadcast : phase:string -> width:int -> int array array -> unit
+(** Pre-check a broadcast's per-node value sizes against [width]. *)
 
 val check_phase : t -> phase:string -> op:op -> rounds:int -> unit
+(** Flag rounds landing on the default phase after a named phase charged
+    (the phase-attribution rule). *)
 
 val check_drift : phase:string -> ledger:int -> transport:int -> unit
+(** Raise unless the ledger total equals the transport counter's movement
+    (the dynamic face of lint rule L3). *)

@@ -11,17 +11,20 @@ type event = { seq : int; phase : string; rounds : int; words : int }
     the ring wraps). *)
 
 type t
+(** The event ring buffer. *)
 
 val create : int -> t
 (** [create capacity] — a ring keeping the last [capacity] events.
     Raises [Invalid_argument] if [capacity ≤ 0]. *)
 
 val capacity : t -> int
+(** The fixed ring size this trace was created with. *)
 
 val recorded : t -> int
 (** Events ever recorded (may exceed {!capacity}). *)
 
 val record : t -> phase:string -> rounds:int -> words:int -> unit
+(** Append one event (evicting the oldest once the ring is full). *)
 
 val to_list : t -> event list
 (** Retained events, oldest first. *)
@@ -32,3 +35,4 @@ val histogram : t -> (string * int array) list
     counts zero-round events (pure word traffic). *)
 
 val pp_histogram : Format.formatter -> t -> unit
+(** Print {!histogram} one phase per line, non-empty buckets as [2^b:count]. *)

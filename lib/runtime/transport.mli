@@ -5,31 +5,43 @@
 
 module type S = sig
   type t
+  (** The kernel's mutable state (nodes, counters, topology). *)
 
   val name : string
+  (** Kernel identifier reported by the runtime (e.g. ["clique"]). *)
 
   val n : t -> int
+  (** Number of nodes. *)
 
   val default_width : int
   (** Per-ordered-pair word budget used when a call omits [?width]. *)
 
   val rounds : t -> int
+  (** Rounds elapsed on this kernel so far (measured plus charged). *)
 
   val words_sent : t -> int
+  (** Total words ever sent (the message-complexity measure). *)
 
   val exchange :
     ?width:int ->
     t ->
     (int * int array) list array ->
     (int * int array) list array
+  (** One synchronous round: [outboxes.(v)] is node [v]'s [(dst, payload)]
+      list; returns the inboxes. *)
 
   val route :
     ?width:int ->
     t ->
     (int * int * int array) list ->
     (int * int array) list array
+  (** Deliver an arbitrary [(src, dst, payload)] multiset (Lenzen-batched
+      on the clique kernel). *)
 
   val broadcast : ?width:int -> t -> int array array -> int array array
+  (** Every node sends [values.(v)] to all others; returns the shared
+      global view. *)
 
   val charge : t -> int -> unit
+  (** Advance the round counter without communication (analytic costs). *)
 end

@@ -8,6 +8,7 @@ let () =
       ("sanitize", Test_sanitize.suite);
       ("determinism", Test_determinism.suite);
       ("analysis", Test_analysis.suite);
+      ("metrics", Test_metrics.suite);
       ("expander", Test_expander.suite);
       ("sparsify", Test_sparsify.suite);
       ("laplacian", Test_laplacian.suite);
