@@ -91,6 +91,11 @@ let transport_tokens =
 
 let entropy_tokens = [ "Random." ]
 
+(* Recovery belongs to the driver above the algorithms: a charged layer
+   that catches Fault_detected or re-runs itself through Recover.run is
+   making resilience decisions the ledger can no longer attribute. *)
+let recovery_tokens = [ "Fault_detected"; "Recover.run" ]
+
 let wallclock_tokens = [ "Unix."; "Sys.time" ]
 
 let line_findings ~file ~charged ~privileged lineno code_line =
@@ -114,7 +119,16 @@ let line_findings ~file ~charged ~privileged lineno code_line =
                "'%s' in charged layer: rounds, not wall-clock, are the cost \
                 measure"
                tok))
-      wallclock_tokens
+      wallclock_tokens;
+    List.iter
+      (fun tok ->
+        if mentions code_line tok then
+          add Rule.L7
+            (Printf.sprintf
+               "'%s' in charged layer: recovery decisions belong to the \
+                driver (Fault.Recover), not the algorithms"
+               tok))
+      recovery_tokens
   end;
   if not privileged then
     List.iter

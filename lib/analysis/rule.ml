@@ -1,6 +1,6 @@
-type id = L1 | L2 | L3 | L4 | L5 | L6
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7
 
-let all = [ L1; L2; L3; L4; L5; L6 ]
+let all = [ L1; L2; L3; L4; L5; L6; L7 ]
 
 let to_string = function
   | L1 -> "L1"
@@ -9,6 +9,7 @@ let to_string = function
   | L4 -> "L4"
   | L5 -> "L5"
   | L6 -> "L6"
+  | L7 -> "L7"
 
 let of_string = function
   | "L1" -> Some L1
@@ -17,6 +18,7 @@ let of_string = function
   | "L4" -> Some L4
   | "L5" -> Some L5
   | "L6" -> Some L6
+  | "L7" -> Some L7
   | _ -> None
 
 let synopsis = function
@@ -34,6 +36,9 @@ let synopsis = function
     "catch-all exception handler (try ... with _ ->) can swallow \
      Bandwidth_exceeded and sanitizer violations"
   | L6 -> "lib module without an .mli interface"
+  | L7 ->
+    "recovery logic inside a charged layer (catching Fault_detected or \
+     calling Recover.run): verify-and-retry belongs to the driver"
 
 let allow_marker = "cc_lint: allow"
 

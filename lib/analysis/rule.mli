@@ -3,10 +3,10 @@
     Every reproduced claim (Theorems 1.1-1.4, Theorem 3.3) is deterministic
     and priced in congested-clique rounds with O(log n)-bit messages; each
     rule names one way a source file can silently step outside that model.
-    Rules are identified as [L1]..[L6] and can be suppressed per line with a
+    Rules are identified as [L1]..[L7] and can be suppressed per line with a
     [(* cc_lint: allow L2 *)] comment. *)
 
-type id = L1 | L2 | L3 | L4 | L5 | L6
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7
 
 val all : id list
 (** In ascending order. *)

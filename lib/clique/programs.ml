@@ -162,8 +162,13 @@ module Make (R : Runtime.S) = struct
     let sc = Array.make k 0 and pc = Array.make k 0 in
     for c = 5 downto 3 do
       let outboxes =
+        (* On a 2-ring pred.(i) = succ.(i): one message suffices (the
+           receiver's succ and pred tests both match it), and sending two
+           would list the same destination twice in one outbox. *)
         Array.init k (fun i ->
-            [ (pred.(i), [| colors.(i) |]); (succ.(i), [| colors.(i) |]) ])
+            if pred.(i) = succ.(i) then [ (pred.(i), [| colors.(i) |]) ]
+            else
+              [ (pred.(i), [| colors.(i) |]); (succ.(i), [| colors.(i) |]) ])
       in
       let inboxes = R.exchange rt outboxes in
       Array.iteri

@@ -14,7 +14,14 @@
 
 type t
 
-exception Bandwidth_exceeded of { src : int; dst : int; words : int }
+exception
+  Bandwidth_exceeded of {
+    src : int;
+    dst : int;
+    words : int;
+    width : int;
+    phase : string;
+  }
 (** The same exception as {!Runtime.Mailbox.Bandwidth_exceeded} (rebound),
     so either name catches it. *)
 

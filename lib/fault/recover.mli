@@ -1,0 +1,49 @@
+(** The verify-and-retry recovery driver.
+
+    [Recover.Make (R).run ~check f] executes a charged computation, puts
+    its output to a certified {!Check} validator, and re-executes on
+    rejection — with every retry's rounds charged to the dedicated
+    ["recovery"] ledger phase, so resilience cost is a visible line in
+    [R.report] and the BENCH JSON. When the retry budget is exhausted it
+    raises {!Fault_detected} with a machine-readable cause: the driver
+    never returns an uncertified answer.
+
+    Recovery decisions belong here, {e above} the algorithm layers:
+    cc_lint rule L7 flags any charged layer that catches
+    [Fault_detected] or invokes [Recover.run] itself. *)
+
+exception
+  Fault_detected of {
+    workload : string;  (** the [~name] passed to {!Make.run} *)
+    attempts : int;  (** executions performed (1 + retries) *)
+    cause : string;  (** last checker counterexample or raised exception *)
+  }
+
+val recovery_phase : string
+(** ["recovery"] — the ledger phase retries are charged under. *)
+
+type 'a outcome = {
+  value : 'a;  (** the certified result *)
+  attempts : int;  (** executions performed, ≥ 1 *)
+  recovered : bool;  (** [true] iff at least one retry was needed *)
+}
+
+module Make (R : Runtime.S) : sig
+  val run :
+    ?retries:int ->
+    ?metrics:Metrics.t ->
+    name:string ->
+    R.t ->
+    check:('a -> Check.verdict) ->
+    (unit -> 'a) ->
+    'a outcome
+  (** [run ~retries ~metrics ~name rt ~check f] ([retries] defaults to 2).
+      The first attempt runs in the caller's current phase; re-executions
+      run under {!recovery_phase}. An attempt fails when [check] returns a
+      counterexample or when [f] raises (resource exhaustion excepted —
+      [Out_of_memory] and [Stack_overflow] propagate). Counters
+      [recovery.attempts], [recovery.retries], [recovery.recovered], and
+      [recovery.exhausted] are bumped in [metrics] (default
+      {!Metrics.disabled}). Raises {!Fault_detected} when the budget is
+      exhausted. *)
+end

@@ -1,4 +1,31 @@
-exception Bandwidth_exceeded of { src : int; dst : int; words : int }
+exception
+  Bandwidth_exceeded of {
+    src : int;
+    dst : int;
+    words : int;
+    width : int;
+    phase : string;
+  }
+
+(* The phase the enclosing runtime call is charging under; set by
+   [Runtime.Make.wrap] around each transport call so delivery errors can
+   name where in the pipeline they fired even though the mailbox itself is
+   phase-oblivious. *)
+let context = ref "main"
+
+let set_context phase = context := phase
+
+let current_context () = !context
+
+let () =
+  Printexc.register_printer (function
+    | Bandwidth_exceeded { src; dst; words; width; phase } ->
+      Some
+        (Printf.sprintf
+           "Runtime.Mailbox.Bandwidth_exceeded(src=%d, dst=%d: %d words over \
+            width %d in phase %S)"
+           src dst words width phase)
+    | _ -> None)
 
 let deliver ~n ~width ?check outboxes =
   if Array.length outboxes <> n then
@@ -12,15 +39,19 @@ let deliver ~n ~width ?check outboxes =
         (fun (dst, payload) ->
           if dst < 0 || dst >= n then
             invalid_arg
-              (Printf.sprintf "Mailbox.deliver: destination %d out of range"
-                 dst);
+              (Printf.sprintf
+                 "Mailbox.deliver: destination %d out of range (src=%d, \
+                  phase=%S, width=%d)"
+                 dst src !context width);
           (match check with Some f -> f ~src ~dst | None -> ());
           let w = Array.length payload in
           let key = (src, dst) in
           let cur = try Hashtbl.find pair_words key with Not_found -> 0 in
           let total = cur + w in
           if total > width then
-            raise (Bandwidth_exceeded { src; dst; words = total });
+            raise
+              (Bandwidth_exceeded
+                 { src; dst; words = total; width; phase = !context });
           Hashtbl.replace pair_words key total;
           words := !words + w;
           inboxes.(dst) <- (src, payload) :: inboxes.(dst))
@@ -36,10 +67,16 @@ let route ~n ~width ?check msgs =
   List.iter
     (fun (src, dst, payload) ->
       if src < 0 || src >= n || dst < 0 || dst >= n then
-        invalid_arg "Mailbox.route: endpoint out of range";
+        invalid_arg
+          (Printf.sprintf
+             "Mailbox.route: endpoint out of range (src=%d, dst=%d, phase=%S, \
+              width=%d)"
+             src dst !context width);
       (match check with Some f -> f ~src ~dst | None -> ());
       let w = Array.length payload in
-      if w > width then raise (Bandwidth_exceeded { src; dst; words = w });
+      if w > width then
+        raise
+          (Bandwidth_exceeded { src; dst; words = w; width; phase = !context });
       sent.(src) <- sent.(src) + w;
       received.(dst) <- received.(dst) + w;
       words := !words + w;
@@ -60,7 +97,10 @@ let broadcast ~n ~width values =
   Array.iteri
     (fun src payload ->
       let w = Array.length payload in
-      if w > width then raise (Bandwidth_exceeded { src; dst = -1; words = w });
+      if w > width then
+        raise
+          (Bandwidth_exceeded
+             { src; dst = -1; words = w; width; phase = !context });
       words := !words + ((n - 1) * w))
     values;
   (Array.copy values, !words)

@@ -4,10 +4,29 @@
     they count rounds; the per-pair word accounting, load computation, and
     batching arithmetic live here exactly once. *)
 
-exception Bandwidth_exceeded of { src : int; dst : int; words : int }
+exception
+  Bandwidth_exceeded of {
+    src : int;
+    dst : int;
+    words : int;
+    width : int;
+    phase : string;
+  }
 (** A round would carry more than [width] words over the ordered pair
     [(src, dst)] ([dst = -1] for a broadcast payload that is itself too
-    wide). *)
+    wide). [phase] is the runtime phase current when the delivery ran (see
+    {!set_context}), so the error names where in the pipeline it fired. A
+    printer is registered: uncaught, the exception prints all five
+    fields. *)
+
+val set_context : string -> unit
+(** [set_context phase] records the phase delivery errors should name.
+    Called by [Runtime.Make] around every transport call; defaults to
+    ["main"]. *)
+
+val current_context : unit -> string
+(** The phase last recorded with {!set_context} (phase-scoped fault
+    schedules read it to decide whether a rule applies). *)
 
 val deliver :
   n:int ->

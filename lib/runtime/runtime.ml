@@ -150,10 +150,15 @@ module Make (T : TRANSPORT) = struct
         ~transport:(T.rounds t.tr - t.base_rounds)
 
   (* Every communication call is measured against the transport's own
-     counters, so measured and charged rounds land in the same ledger. *)
+     counters, so measured and charged rounds land in the same ledger. The
+     mailbox context is set for the duration so delivery errors (and fault
+     schedules scoped to a phase) know where in the pipeline they fired. *)
   let wrap t ~op ~width ~event f =
     let r0 = T.rounds t.tr and w0 = T.words_sent t.tr in
-    let result = f () in
+    Mailbox.set_context t.phase;
+    let result =
+      Fun.protect ~finally:(fun () -> Mailbox.set_context "main") f
+    in
     let rounds = T.rounds t.tr - r0 and words = T.words_sent t.tr - w0 in
     observe t ~phase:t.phase ~rounds ~words;
     sanitize_event t ~phase:t.phase ~op ~width ~rounds ~words ~event;

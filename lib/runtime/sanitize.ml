@@ -177,6 +177,24 @@ let check_exchange ~phase ~width outboxes =
               total src dst width;
           Hashtbl.replace pair_words key total)
         msgs)
+    outboxes;
+  (* Second pass: a sender listing the same destination twice in one
+     outbox is almost always a program bug (the kernel would silently
+     concatenate the payloads into one round). Runs after the width pass so
+     an outbox that is both duplicated and oversized reports the width
+     violation first, as it always has. *)
+  Array.iteri
+    (fun src msgs ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (dst, _) ->
+          if Hashtbl.mem seen dst then
+            violation ~phase ~kind:"duplicate-dst"
+              "exchange outbox of node %d lists destination %d more than \
+               once; merge the payloads into one message"
+              src dst;
+          Hashtbl.add seen dst ())
+        msgs)
     outboxes
 
 let check_route ~phase ~width msgs =

@@ -89,6 +89,24 @@ let test_l5_catch_all () =
          "let z = try f () with Not_found -> 1";
        ])
 
+let test_l7_recovery_in_charged_layer () =
+  let src =
+    [
+      "let swallowed = try f () with Recover.Fault_detected _ -> fallback";
+      "let retried rt = Recover.run ~retries:3 ~check rt f";
+      "let fine = Check.eulerian g bits";
+    ]
+  in
+  check_findings "Fault_detected and Recover.run flagged in charged layers"
+    [ (Rule.L7, 1); (Rule.L7, 2) ]
+    (scan ~file:"lib/laplacian/fake.ml" src);
+  check_findings "the driver layers may recover" []
+    (scan ~file:"lib/fault/fake.ml" src);
+  check_findings "tests may recover" [] (scan ~file:"test/fake.ml" src);
+  check_findings "suppressible like every rule" []
+    (scan ~file:"lib/euler/fake.ml"
+       [ "let x = Recover.run rt f (* cc_lint: allow L7 *)" ])
+
 (* ------------------------------------------------------------------ L6 *)
 
 let test_l6_missing_mli () =
@@ -164,7 +182,7 @@ let test_report_format () =
     = "lib/flow/x.ml:1 L2 ")
 
 let test_rule_catalog () =
-  Alcotest.(check int) "six rules" 6 (List.length Rule.all);
+  Alcotest.(check int) "seven rules" 7 (List.length Rule.all);
   List.iter
     (fun id ->
       Alcotest.(check (option rule_t))
@@ -199,6 +217,8 @@ let suite =
     Alcotest.test_case "L4: Obj.magic" `Quick test_l4_obj_magic;
     Alcotest.test_case "L5: catch-all handler" `Quick test_l5_catch_all;
     Alcotest.test_case "L6: missing mli" `Quick test_l6_missing_mli;
+    Alcotest.test_case "L7: recovery in charged layer" `Quick
+      test_l7_recovery_in_charged_layer;
     Alcotest.test_case "suppression markers" `Quick test_suppression;
     Alcotest.test_case "comment/string immunity" `Quick
       test_comment_and_string_immunity;

@@ -79,6 +79,69 @@ let test_congest_route_and_broadcast () =
   Alcotest.(check int) "complete graph broadcasts" 2 view.(1).(0);
   Alcotest.(check int) "one round" 1 (Clique.Congest.rounds k)
 
+(* ----------------------------------------- satellite: error diagnostics *)
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec loop i =
+    i + nl <= hl && (String.sub hay i nl = needle || loop (i + 1))
+  in
+  loop 0
+
+let test_bandwidth_error_names_context () =
+  (* The exception carries (src, dst, phase, width), and its registered
+     printer surfaces all of them. Sanitizing is off so the kernel's own
+     check (not the sanitizer pre-check) is what fires. *)
+  let rt = K.On_sim.create ~sanitize:false (Clique.Sim.create 3) in
+  let fields =
+    try
+      K.with_phase rt "gather" (fun () ->
+          ignore (K.On_sim.exchange rt [| [ (2, [| 1; 2; 3 |]) ]; []; [] |]));
+      None
+    with Runtime.Mailbox.Bandwidth_exceeded { src; dst; words; width; phase }
+      ->
+      Some (src, dst, words, width, phase)
+  in
+  Alcotest.(check (option (pair (triple int int int) (pair int string))))
+    "src, dst, words, width, phase all reported"
+    (Some ((0, 2, 3), (2, "gather")))
+    (Option.map (fun (s, d, w, wd, p) -> ((s, d, w), (wd, p))) fields);
+  let printed =
+    try
+      ignore (Clique.Sim.exchange (Clique.Sim.create 2) [| [ (1, [| 1; 2; 3 |]) ]; [] |]);
+      ""
+    with e -> Printexc.to_string e
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "printer mentions %S" needle)
+        true (contains printed needle))
+    [ "src=0"; "dst=1"; "3 words"; "width 2" ]
+
+let test_out_of_range_dst_names_context () =
+  let rt = K.On_sim.create ~sanitize:false (Clique.Sim.create 3) in
+  let check_msg what f =
+    let msg =
+      try
+        ignore (f ());
+        ""
+      with Invalid_argument m -> m
+    in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s names %S" what needle)
+          true (contains msg needle))
+      [ "out of range"; "phase=\"bad-dst\""; "width=2" ]
+  in
+  check_msg "exchange error" (fun () ->
+      K.with_phase rt "bad-dst" (fun () ->
+          K.On_sim.exchange rt [| [ (7, [| 1 |]) ]; []; [] |]));
+  check_msg "route error" (fun () ->
+      K.with_phase rt "bad-dst" (fun () ->
+          K.On_sim.route rt [ (0, 9, [| 1 |]) ]))
+
 (* -------------------------------------------- route batching arithmetic *)
 
 let test_route_batch_boundary () =
@@ -238,6 +301,10 @@ let suite =
       test_congest_exchange_bandwidth_and_edges;
     Alcotest.test_case "congest route+broadcast" `Quick
       test_congest_route_and_broadcast;
+    Alcotest.test_case "bandwidth error names (src,dst,phase,width)" `Quick
+      test_bandwidth_error_names_context;
+    Alcotest.test_case "out-of-range dst names context" `Quick
+      test_out_of_range_dst_names_context;
     Alcotest.test_case "route batch boundary" `Quick test_route_batch_boundary;
     Alcotest.test_case "ledger and phases" `Quick
       test_runtime_ledger_and_phases;

@@ -52,6 +52,37 @@ let test_width_route_and_broadcast () =
   let rt = K.On_sim.create ~sanitize:true (Clique.Sim.create 3) in
   ignore (K.On_sim.route ~width:3 rt [ (0, 1, [| 1; 2; 3 |]) ])
 
+(* ----------------------------------------- duplicate outbox destinations *)
+
+let test_duplicate_dst_flagged () =
+  (* Two width-respecting messages from one sender to the same destination:
+     the kernel would silently concatenate them into one round, so the
+     sanitizer reports the outbox as malformed instead. *)
+  let rt = K.On_sim.create ~sanitize:true (Clique.Sim.create 3) in
+  match
+    violation "duplicate-dst" (fun () ->
+        K.with_phase rt "shift" (fun () ->
+            K.On_sim.exchange rt [| [ (1, [| 7 |]); (1, [| 8 |]) ]; []; [] |]))
+  with
+  | None -> Alcotest.fail "duplicate (dst, _) entries must trip the sanitizer"
+  | Some (phase, detail) ->
+    Alcotest.(check string) "offending phase" "shift" phase;
+    Alcotest.(check bool) "detail names sender and destination" true
+      (String.length detail > 0)
+
+let test_duplicate_dst_width_wins () =
+  (* When the duplicates also blow the width bound, the width violation
+     keeps firing first (regression pin for the check ordering). *)
+  let rt = K.On_sim.create ~sanitize:true (Clique.Sim.create 3) in
+  Alcotest.(check bool) "width reported before duplicate-dst" true
+    (violation "width" (fun () ->
+         K.On_sim.exchange rt
+           [| [ (1, [| 1 |]); (1, [| 2 |]); (1, [| 3 |]) ]; []; [] |])
+    <> None);
+  (* Distinct destinations stay legal. *)
+  let rt = K.On_sim.create ~sanitize:true (Clique.Sim.create 3) in
+  ignore (K.On_sim.exchange rt [| [ (1, [| 1 |]); (2, [| 2 |]) ]; []; [] |])
+
 (* ---------------------------------------------------- phase attribution *)
 
 let test_phase_attribution () =
@@ -194,6 +225,10 @@ let suite =
       test_width_aggregates_per_link;
     Alcotest.test_case "width on route and broadcast" `Quick
       test_width_route_and_broadcast;
+    Alcotest.test_case "duplicate dst flagged" `Quick
+      test_duplicate_dst_flagged;
+    Alcotest.test_case "width beats duplicate-dst; distinct dst legal" `Quick
+      test_duplicate_dst_width_wins;
     Alcotest.test_case "phase attribution" `Quick test_phase_attribution;
     Alcotest.test_case "no checks when unsanitized" `Quick
       test_phase_attribution_off_when_unsanitized;
