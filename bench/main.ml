@@ -759,6 +759,78 @@ let e8_ablations () =
       { s_name = "solver-choice"; s_seed = 31L; s_rows = solver_rows };
     ]
 
+(* ------------------------------------------------------------------- E9 *)
+
+(* Kernel-throughput microbenchmark: a synthetic all-to-all workload (every
+   node sends a 1-word payload to every other node at the default width 2)
+   driven through both delivery engines. The deterministic series asserts
+   the engines bit-identical (inboxes, words, rounds) and records the
+   counters; the wall-clock comparison lands in the Bechamel section below
+   ("e9-arena-n<k>" vs "e9-legacy-n<k>") and in BENCH_E9.json. *)
+
+let e9_rounds = 8
+
+let e9_sizes = sizes ~full:[ 64; 128; 256; 512; 1024 ] ~reduced:[ 64; 128; 256 ]
+
+(* Outboxes are built once and reused across rounds, so the measurement is
+   delivery, not workload construction. Payload arrays are shared by
+   reference on both paths (neither kernel copies). *)
+let e9_outboxes n =
+  Array.init n (fun v ->
+      List.filter_map
+        (fun d -> if d = v then None else Some (d, [| v land 0xffff |]))
+        (List.init n Fun.id))
+
+let e9_kernel () =
+  header
+    "E9 | kernel throughput - arena vs legacy delivery on all-to-all \
+     exchange (1-word payloads, width 2)";
+  let reg = Metrics.create () in
+  Printf.printf "%6s %10s %10s %8s %8s\n" "n" "msgs/rnd" "words" "rounds"
+    "equal";
+  let rows =
+    List.map
+      (fun n ->
+        let outboxes = e9_outboxes n in
+        let arena = Clique.Sim.create ~kernel:Clique.Sim.Arena n in
+        let legacy = Clique.Sim.create ~kernel:Clique.Sim.Legacy n in
+        let equal = ref true in
+        for _ = 1 to e9_rounds do
+          let a = Clique.Sim.exchange arena outboxes in
+          let l = Clique.Sim.exchange legacy outboxes in
+          equal := !equal && a = l
+        done;
+        assert !equal;
+        assert (Clique.Sim.words_sent arena = Clique.Sim.words_sent legacy);
+        assert (Clique.Sim.rounds arena = Clique.Sim.rounds legacy);
+        let words = Clique.Sim.words_sent arena in
+        Printf.printf "%6d %10d %10d %8d %8s\n" n
+          (n * (n - 1))
+          words
+          (Clique.Sim.rounds arena)
+          (if !equal then "yes" else "NO");
+        row reg
+          ~key:(Printf.sprintf "n=%d" n)
+          ~params:[ ("n", J.Int n) ]
+          ~stats:
+            (( "messages_per_round", J.Int (n * (n - 1)) )
+             :: ("words", J.Int words)
+             :: List.map
+                  (fun (k, v) -> (k, J.Int v))
+                  (Clique.Sim.stats arena))
+          ~rounds:(Clique.Sim.rounds arena)
+          ~phases:[] ())
+      e9_sizes
+  in
+  experiment ~id:"E9"
+    ~title:
+      "kernel throughput - arena vs legacy delivery on all-to-all exchange"
+    ~note:
+      "rows assert the two kernels bit-identical (inboxes, words, rounds); \
+       the wall_clock section carries the arena-vs-legacy comparison"
+    reg
+    [ { s_name = "all-to-all"; s_seed = 0L; s_rows = rows } ]
+
 (* -------------------------------------------------- Bechamel wall-clock *)
 
 let wall_clock () =
@@ -820,8 +892,23 @@ let wall_clock () =
     Test.make ~name:"e8-bss-d6"
       (Staged.stage (fun () -> ignore (Sparsify.Bss.sparsify ~d:6 g)))
   in
+  let e9 =
+    (* One persistent sim per (kernel, n): the arena's whole point is buffer
+       reuse across rounds, so the measured loop is exchange alone. *)
+    List.concat_map
+      (fun n ->
+        let outboxes = e9_outboxes n in
+        let mk kernel kname =
+          let sim = Clique.Sim.create ~kernel n in
+          Test.make ~name:(Printf.sprintf "e9-%s-n%d" kname n)
+            (Staged.stage (fun () -> ignore (Clique.Sim.exchange sim outboxes)))
+        in
+        [ mk Clique.Sim.Arena "arena"; mk Clique.Sim.Legacy "legacy" ])
+      e9_sizes
+  in
   let tests =
-    Test.make_grouped ~name:"repro" [ e1; e2; e3; e4; e5; e6; e7; e8 ]
+    Test.make_grouped ~name:"repro"
+      ([ e1; e2; e3; e4; e5; e6; e7; e8 ] @ e9)
   in
   let quota = if reduced then 0.05 else 1.0 in
   let cfg =
@@ -869,8 +956,21 @@ let () =
   let x6 = e6_mincost () in
   let x7 = e7_combined () in
   let x8 = e8_ablations () in
-  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8 ] in
+  let x9 = e9_kernel () in
+  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8; x9 ] in
   let wall = wall_clock () in
+  (* E9 headline: arena-vs-legacy speedup at the largest size measured. *)
+  let biggest = List.fold_left max 0 e9_sizes in
+  (match
+     ( List.assoc_opt (Printf.sprintf "e9-arena-n%d" biggest) wall,
+       List.assoc_opt (Printf.sprintf "e9-legacy-n%d" biggest) wall )
+   with
+  | Some a, Some l when a > 0. ->
+    Printf.printf
+      "\nE9: arena delivery %.2fx vs legacy at n=%d (%.2f us vs %.2f us per \
+       round)\n"
+      (l /. a) biggest (a /. 1e3) (l /. 1e3)
+  | _ -> ());
   let paths = List.map (fun x -> write_bench x ~wall_clock:wall) experiments in
   Printf.printf "\ntelemetry: wrote %s (schema v1, mode=%s)\n"
     (String.concat " " paths) mode;

@@ -109,6 +109,8 @@ let compare_rows ~id ~series_name old_rows new_rows =
         note "%s %s: new row %S (not in baseline)" id series_name key)
     new_rows
 
+(* The soft gate. The full per-kernel ratio table is printed even when every
+   row passes — CI logs then show the trend, not just the failures. *)
 let compare_wallclock ~id old_j new_j =
   let entries j =
     match J.member "wall_clock" j with Some (J.Assoc kv) -> kv | _ -> []
@@ -126,12 +128,13 @@ let compare_wallclock ~id old_j new_j =
           let ratio = n /. o in
           if ratio > !threshold then
             fail_drift
-              "%s wall-clock %s regressed %.2fx (%.0f ns -> %.0f ns, \
-               threshold %.2fx)"
-              id kernel ratio o n !threshold
-          else if ratio < 1. /. !threshold then
-            note "%s wall-clock %s improved %.2fx (%.0f ns -> %.0f ns)" id
-              kernel (1. /. ratio) o n
+              "%s wall-clock %-24s %12.0f ns -> %12.0f ns  %.2fx (threshold \
+               %.2fx)"
+              id kernel o n ratio !threshold
+          else
+            Printf.printf "wall  %s %-24s %12.0f ns -> %12.0f ns  %.2fx%s\n"
+              id kernel o n ratio
+              (if ratio < 1. /. !threshold then "  (improved)" else "")
         | _ -> note "%s wall-clock %s: missing estimate" id kernel))
     (entries old_j)
 

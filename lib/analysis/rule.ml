@@ -1,6 +1,6 @@
-type id = L1 | L2 | L3 | L4 | L5 | L6 | L7
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8
 
-let all = [ L1; L2; L3; L4; L5; L6; L7 ]
+let all = [ L1; L2; L3; L4; L5; L6; L7; L8 ]
 
 let to_string = function
   | L1 -> "L1"
@@ -10,6 +10,7 @@ let to_string = function
   | L5 -> "L5"
   | L6 -> "L6"
   | L7 -> "L7"
+  | L8 -> "L8"
 
 let of_string = function
   | "L1" -> Some L1
@@ -19,6 +20,7 @@ let of_string = function
   | "L5" -> Some L5
   | "L6" -> Some L6
   | "L7" -> Some L7
+  | "L8" -> Some L8
   | _ -> None
 
 let synopsis = function
@@ -39,8 +41,44 @@ let synopsis = function
   | L7 ->
     "recovery logic inside a charged layer (catching Fault_detected or \
      calling Recover.run): verify-and-retry belongs to the driver"
+  | L8 ->
+    "allocation in a hot-path function (Hashtbl.create, Array.make or \
+     Bytes.create inside a function named by a (* cc_lint: hot ... *) \
+     marker): the round hot path preallocates and reuses"
 
 let allow_marker = "cc_lint: allow"
+
+let hot_marker = "cc_lint: hot"
+
+(* The function names a [(* cc_lint: hot deliver exchange *)]-style marker
+   on this raw line declares hot, in order; [] when the line carries no
+   marker. The marker is per-file: [Lint.scan_source] unions every line's
+   names before walking the code. *)
+let hot_names raw_line =
+  let len = String.length raw_line in
+  let mlen = String.length hot_marker in
+  let rec find i =
+    if i + mlen > len then []
+    else if String.sub raw_line i mlen = hot_marker then names (i + mlen) []
+    else find (i + 1)
+  and names i acc =
+    if i >= len then List.rev acc
+    else if raw_line.[i] = ' ' || raw_line.[i] = ',' then names (i + 1) acc
+    else if raw_line.[i] = '*' then List.rev acc
+    else begin
+      let j = ref i in
+      while
+        !j < len
+        && raw_line.[!j] <> ' '
+        && raw_line.[!j] <> ','
+        && raw_line.[!j] <> '*'
+      do
+        incr j
+      done;
+      names !j (String.sub raw_line i (!j - i) :: acc)
+    end
+  in
+  find 0
 
 (* A raw source line suppresses [id] iff it carries a
    [(* cc_lint: allow L2 L5 *)]-style marker naming that id. *)

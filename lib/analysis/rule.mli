@@ -3,10 +3,10 @@
     Every reproduced claim (Theorems 1.1-1.4, Theorem 3.3) is deterministic
     and priced in congested-clique rounds with O(log n)-bit messages; each
     rule names one way a source file can silently step outside that model.
-    Rules are identified as [L1]..[L7] and can be suppressed per line with a
+    Rules are identified as [L1]..[L8] and can be suppressed per line with a
     [(* cc_lint: allow L2 *)] comment. *)
 
-type id = L1 | L2 | L3 | L4 | L5 | L6 | L7
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8
 
 val all : id list
 (** In ascending order. *)
@@ -24,3 +24,13 @@ val allow_marker : string
 val suppressed : id -> string -> bool
 (** [suppressed id raw_line] is [true] iff the raw (uncommented-out) line
     carries a suppression marker naming [id]. *)
+
+val hot_marker : string
+(** The literal hot-path marker, ["cc_lint: hot"]. A comment
+    [(* cc_lint: hot deliver *)] anywhere in a file declares the named
+    top-level functions hot: rule [L8] then flags per-call allocation
+    ([Hashtbl.create], [Array.make], [Bytes.create]) inside them. *)
+
+val hot_names : string -> string list
+(** [hot_names raw_line] is the list of function names the line's hot
+    marker declares, or [[]] when it carries none. *)

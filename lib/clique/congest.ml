@@ -1,6 +1,7 @@
 type t = {
   graph : Graph.t;
   neighbors : (int, unit) Hashtbl.t array;
+  arena : Runtime.Arena.t option;
   mutable rounds : int;
   mutable words_sent : int;
 }
@@ -9,7 +10,7 @@ exception Not_an_edge of { src : int; dst : int }
 
 let name = "congest"
 
-let create graph =
+let create ?kernel graph =
   let n = Graph.n graph in
   let neighbors = Array.init n (fun _ -> Hashtbl.create 4) in
   Array.iter
@@ -17,7 +18,15 @@ let create graph =
       Hashtbl.replace neighbors.(e.Graph.u) e.Graph.v ();
       Hashtbl.replace neighbors.(e.Graph.v) e.Graph.u ())
     (Graph.edges graph);
-  { graph; neighbors; rounds = 0; words_sent = 0 }
+  let kernel =
+    match kernel with Some k -> k | None -> Sim.default_kernel ()
+  in
+  let arena =
+    match kernel with
+    | Sim.Arena -> Some (Runtime.Arena.create ~n ())
+    | Sim.Legacy -> None
+  in
+  { graph; neighbors; arena; rounds = 0; words_sent = 0 }
 
 let graph t = t.graph
 
@@ -34,7 +43,9 @@ let default_width = 2
 
 let exchange ?(width = 2) t outboxes =
   let inboxes, words =
-    Runtime.Mailbox.deliver ~n:(n t) ~width ~check:(check t) outboxes
+    match t.arena with
+    | Some arena -> Runtime.Arena.deliver arena ~width ~check:(check t) outboxes
+    | None -> Runtime.Mailbox.deliver ~n:(n t) ~width ~check:(check t) outboxes
   in
   t.words_sent <- t.words_sent + words;
   t.rounds <- t.rounds + 1;
@@ -64,6 +75,9 @@ let charge t r =
   if r < 0 then invalid_arg "Congest.charge: negative rounds";
   t.rounds <- t.rounds + r
 
+let stats t =
+  match t.arena with Some a -> Runtime.Arena.stats a | None -> []
+
 (* The same node programs the clique kernel runs, instantiated over this
    transport (the functor is applied on a local alias; only plain arrays
    escape, so the private runtime type never leaks). *)
@@ -79,6 +93,7 @@ module Self = struct
   let route = route
   let broadcast = broadcast
   let charge = charge
+  let stats = stats
 end
 
 module Rt = Runtime.Make (Self)

@@ -17,8 +17,10 @@ exception Not_an_edge of { src : int; dst : int }
 val name : string
 (** ["congest"]. *)
 
-val create : Graph.t -> t
-(** One node per vertex; links are exactly the graph's edges. *)
+val create : ?kernel:Sim.kernel -> Graph.t -> t
+(** One node per vertex; links are exactly the graph's edges. [kernel]
+    (default {!Sim.default_kernel}) picks the arena or legacy delivery
+    engine, exactly as in {!Sim.create}. *)
 
 val graph : t -> Graph.t
 
@@ -48,6 +50,9 @@ val broadcast : ?width:int -> t -> int array array -> int array array
 
 val charge : t -> int -> unit
 (** Advance the round counter without communication ([r ≥ 0]). *)
+
+val stats : t -> (string * int) list
+(** The arena's [kernel.arena.*] counters; empty on the legacy kernel. *)
 
 val bfs : t -> int -> int array
 (** Distributed BFS by flooding — the generic {!Programs.Make} program run

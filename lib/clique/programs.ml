@@ -41,7 +41,8 @@ module Make (R : Runtime.S) = struct
 
   (* Distributed BFS by flooding: every frontier node tells its neighbours
      its distance; rounds = eccentricity of the source + 1 (the final round
-     in which the last frontier discovers nobody). *)
+     in which the last frontier discovers nobody). The per-node step reads
+     only pre-round state, so [exchange_map] may fan it over domains. *)
   let bfs rt g s =
     let n = Graph.n g in
     require_n rt n "bfs";
@@ -49,16 +50,18 @@ module Make (R : Runtime.S) = struct
     let neighbors = neighbor_lists g in
     let dist = Array.make n (-1) in
     dist.(s) <- 0;
-    let frontier = ref [ s ] in
-    while !frontier <> [] do
-      let outboxes = Array.make n [] in
-      List.iter
-        (fun v ->
-          outboxes.(v) <-
-            List.map (fun u -> (u, [| dist.(v) |])) neighbors.(v))
-        !frontier;
-      let inboxes = R.exchange rt outboxes in
-      let next = ref [] in
+    let in_frontier = Array.make n false in
+    in_frontier.(s) <- true;
+    let frontier_nonempty = ref true in
+    while !frontier_nonempty do
+      let inboxes =
+        R.exchange_map rt (fun v ->
+            if in_frontier.(v) then
+              List.map (fun u -> (u, [| dist.(v) |])) neighbors.(v)
+            else [])
+      in
+      Array.fill in_frontier 0 n false;
+      frontier_nonempty := false;
       Array.iteri
         (fun v msgs ->
           if dist.(v) < 0 then
@@ -66,11 +69,11 @@ module Make (R : Runtime.S) = struct
               (fun (_, payload) ->
                 if dist.(v) < 0 then begin
                   dist.(v) <- payload.(0) + 1;
-                  next := v :: !next
+                  in_frontier.(v) <- true;
+                  frontier_nonempty := true
                 end)
               msgs)
-        inboxes;
-      frontier := !next
+        inboxes
     done;
     dist
 
@@ -87,16 +90,15 @@ module Make (R : Runtime.S) = struct
     let changed = ref true in
     while !changed do
       changed := false;
-      let outboxes = Array.make n [] in
-      for v = 0 to n - 1 do
-        if dist.(v) < infinity then
-          outboxes.(v) <-
-            List.map
-              (fun u ->
-                (u, [| int_of_float (Float.round (dist.(v) *. scale)) |]))
-              neighbors.(v)
-      done;
-      let inboxes = R.exchange rt outboxes in
+      let inboxes =
+        R.exchange_map rt (fun v ->
+            if dist.(v) < infinity then
+              List.map
+                (fun u ->
+                  (u, [| int_of_float (Float.round (dist.(v) *. scale)) |]))
+                neighbors.(v)
+            else [])
+      in
       Array.iteri
         (fun v msgs ->
           List.iter
@@ -136,10 +138,9 @@ module Make (R : Runtime.S) = struct
     (* One round: every position sends its color to its predecessor, so
        everyone learns its successor's current color. *)
     let learn_succ () =
-      let outboxes =
-        Array.init k (fun i -> [ (pred.(i), [| colors.(i) |]) ])
+      let inboxes =
+        R.exchange_map rt (fun i -> [ (pred.(i), [| colors.(i) |]) ])
       in
-      let inboxes = R.exchange rt outboxes in
       Array.iteri
         (fun i msgs ->
           List.iter
@@ -161,16 +162,15 @@ module Make (R : Runtime.S) = struct
        adjacent, so parallel recoloring stays proper. *)
     let sc = Array.make k 0 and pc = Array.make k 0 in
     for c = 5 downto 3 do
-      let outboxes =
+      let inboxes =
         (* On a 2-ring pred.(i) = succ.(i): one message suffices (the
            receiver's succ and pred tests both match it), and sending two
            would list the same destination twice in one outbox. *)
-        Array.init k (fun i ->
+        R.exchange_map rt (fun i ->
             if pred.(i) = succ.(i) then [ (pred.(i), [| colors.(i) |]) ]
             else
               [ (pred.(i), [| colors.(i) |]); (succ.(i), [| colors.(i) |]) ])
       in
-      let inboxes = R.exchange rt outboxes in
       Array.iteri
         (fun i msgs ->
           List.iter

@@ -1,14 +1,44 @@
-type t = { n : int; mutable rounds : int; mutable words_sent : int }
+type kernel = Arena | Legacy
+
+type t = {
+  n : int;
+  kernel : kernel;
+  arena : Runtime.Arena.t option;
+  mutable rounds : int;
+  mutable words_sent : int;
+}
 
 exception Bandwidth_exceeded = Runtime.Mailbox.Bandwidth_exceeded
 
 let name = "clique"
 
-let create n =
+let forced_kernel : kernel option ref = ref None
+
+let set_default_kernel k = forced_kernel := k
+
+let default_kernel () =
+  match !forced_kernel with
+  | Some k -> k
+  | None -> (
+    match Sys.getenv_opt "CC_KERNEL" with
+    | Some "legacy" -> Legacy
+    | Some _ | None -> Arena)
+
+let create ?kernel n =
   if n <= 0 then invalid_arg "Sim.create: need n > 0";
-  { n; rounds = 0; words_sent = 0 }
+  let kernel =
+    match kernel with Some k -> k | None -> default_kernel ()
+  in
+  let arena =
+    match kernel with
+    | Arena -> Some (Runtime.Arena.create ~n ())
+    | Legacy -> None
+  in
+  { n; kernel; arena; rounds = 0; words_sent = 0 }
 
 let n t = t.n
+
+let kernel_of t = t.kernel
 
 let rounds t = t.rounds
 
@@ -16,8 +46,13 @@ let words_sent t = t.words_sent
 
 let default_width = 2
 
+let deliver t ~width outboxes =
+  match t.arena with
+  | Some arena -> Runtime.Arena.deliver arena ~width outboxes
+  | None -> Runtime.Mailbox.deliver ~n:t.n ~width outboxes
+
 let exchange ?(width = default_width) t outboxes =
-  let inboxes, words = Runtime.Mailbox.deliver ~n:t.n ~width outboxes in
+  let inboxes, words = deliver t ~width outboxes in
   t.words_sent <- t.words_sent + words;
   t.rounds <- t.rounds + 1;
   inboxes
@@ -37,3 +72,6 @@ let broadcast ?(width = default_width) t values =
 let charge t r =
   if r < 0 then invalid_arg "Sim.charge: negative rounds";
   t.rounds <- t.rounds + r
+
+let stats t =
+  match t.arena with Some a -> Runtime.Arena.stats a | None -> []

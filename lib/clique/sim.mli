@@ -14,6 +14,14 @@
 
 type t
 
+type kernel = Arena | Legacy
+(** Which delivery engine [exchange] runs on. [Arena] (the default) is the
+    reusable-buffer counting-sort kernel of {!Runtime.Arena}; [Legacy] is
+    the list-and-[Hashtbl] {!Runtime.Mailbox.deliver} path. The two are
+    bit-identical in rounds, words, inbox contents, and sanitizer
+    transcripts — the differential suite [test_kernel_equiv] holds them to
+    that. *)
+
 exception
   Bandwidth_exceeded of {
     src : int;
@@ -28,8 +36,23 @@ exception
 val name : string
 (** ["clique"]. *)
 
-val create : int -> t
-(** [create n] makes a clique of [n] nodes. *)
+val create : ?kernel:kernel -> int -> t
+(** [create n] makes a clique of [n] nodes running on [kernel] (default
+    {!default_kernel}). The arena kernel sizes its buffers once here and
+    reuses them every round. *)
+
+val default_kernel : unit -> kernel
+(** The kernel [create] picks when [?kernel] is omitted: the value forced
+    by {!set_default_kernel} if any, else [Legacy] when [CC_KERNEL=legacy]
+    is set in the environment, else [Arena]. *)
+
+val set_default_kernel : kernel option -> unit
+(** Force (or, with [None], unforce) the {!default_kernel} result — the
+    test-suite hook for running whole charged pipelines on a chosen
+    kernel, overriding the environment. *)
+
+val kernel_of : t -> kernel
+(** The kernel this instance was created on. *)
 
 val n : t -> int
 
@@ -72,3 +95,7 @@ val charge : t -> int -> unit
 (** Advance the round counter without communication (used when a node-local
     computation stands for a subroutine whose rounds are charged, e.g. the
     final O(1)-size cycle leader election). *)
+
+val stats : t -> (string * int) list
+(** The arena's [kernel.arena.*] counters ({!Runtime.Arena.stats}); empty
+    on the legacy kernel. *)

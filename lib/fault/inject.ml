@@ -57,6 +57,10 @@ module Make (T : Runtime.TRANSPORT) = struct
 
   let charge t r = T.charge t.base r
 
+  (* The wrapped kernel's counters pass straight through, so arena stats
+     stay visible (and arena rounds stay bit-identical) under injection. *)
+  let stats t = T.stats t.base
+
   let injected t =
     List.sort compare
       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts [])

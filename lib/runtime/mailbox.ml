@@ -45,7 +45,9 @@ let deliver ~n ~width ?check outboxes =
                  dst src !context width);
           (match check with Some f -> f ~src ~dst | None -> ());
           let w = Array.length payload in
-          let key = (src, dst) in
+          (* Int key: a boxed (src, dst) tuple here allocated (and hashed
+             structurally) once per message on the hot path. *)
+          let key = (src * n) + dst in
           let cur = try Hashtbl.find pair_words key with Not_found -> 0 in
           let total = cur + w in
           if total > width then

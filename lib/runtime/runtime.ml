@@ -2,6 +2,8 @@ module Cost = Cost
 module Trace = Trace
 module Mailbox = Mailbox
 module Sanitize = Sanitize
+module Arena = Arena
+module Pool = Pool
 
 module type TRANSPORT = Transport.S
 
@@ -13,11 +15,18 @@ module type S = sig
   val kernel : string
 
   val create :
-    ?phase:string -> ?trace_capacity:int -> ?sanitize:bool -> transport -> t
+    ?phase:string ->
+    ?trace_capacity:int ->
+    ?sanitize:bool ->
+    ?domains:int ->
+    transport ->
+    t
 
   val transport : t -> transport
 
   val n : t -> int
+
+  val domains : t -> int
 
   val ledger : t -> Cost.t
 
@@ -53,6 +62,12 @@ module type S = sig
     (int * int array) list array ->
     (int * int array) list array
 
+  val exchange_map :
+    ?width:int ->
+    t ->
+    (int -> (int * int array) list) ->
+    (int * int array) list array
+
   val route :
     ?width:int ->
     t ->
@@ -77,16 +92,23 @@ module Make (T : TRANSPORT) = struct
     (* Rounds already on the transport when this runtime was created; the
        drift check compares the ledger against the counter's movement. *)
     base_rounds : int;
+    pool : Pool.t;
     mutable phase : string;
     mutable words : int;
     mutable hooks : (phase:string -> rounds:int -> words:int -> unit) list;
+    (* Registry [exchange_map] observes the domain-imbalance histogram
+       into; set by [attach_metrics], disabled until then. *)
+    mutable metrics : Metrics.t;
   }
 
   let kernel = T.name
 
-  let create ?(phase = "main") ?(trace_capacity = 256) ?sanitize tr =
+  let create ?(phase = "main") ?(trace_capacity = 256) ?sanitize ?domains tr =
     let sanitize =
       match sanitize with Some b -> b | None -> Sanitize.enabled_default ()
+    in
+    let domains =
+      match domains with Some d -> max 1 d | None -> Pool.default_domains ()
     in
     {
       tr;
@@ -94,14 +116,18 @@ module Make (T : TRANSPORT) = struct
       trace = Trace.create trace_capacity;
       san = (if sanitize then Some (Sanitize.create ()) else None);
       base_rounds = T.rounds tr;
+      pool = Pool.get domains;
       phase;
       words = 0;
       hooks = [];
+      metrics = Metrics.disabled;
     }
 
   let transport t = t.tr
 
   let n t = T.n t.tr
+
+  let domains t = Pool.size t.pool
 
   let ledger t = t.ledger
 
@@ -175,6 +201,43 @@ module Make (T : TRANSPORT) = struct
       ~event:(fun () -> Sanitize.exchange_event outboxes)
       (fun () -> T.exchange ?width t.tr outboxes)
 
+  (* Per-node outbox construction fanned over the domain pool. Each chunk
+     writes only its own slots of [out], and the chunk partition is fixed
+     by (size, n) alone, so the merged outbox array — and with it rounds,
+     words, and sanitizer transcripts — is bit-identical to a sequential
+     run. The imbalance histogram records, per call, the spread
+     (max - min) of messages produced across chunks. *)
+  let exchange_map ?width t f =
+    let n = T.n t.tr in
+    let out = Array.make n [] in
+    let k = Pool.size t.pool in
+    if k <= 1 || n < k then
+      for v = 0 to n - 1 do
+        out.(v) <- f v
+      done
+    else begin
+      Pool.run t.pool ~n (fun lo hi ->
+          for v = lo to hi - 1 do
+            out.(v) <- f v
+          done);
+      if Metrics.enabled t.metrics then begin
+        let worst = ref 0 and best = ref max_int in
+        for w = 0 to k - 1 do
+          let lo, hi = Pool.chunk_bounds ~size:k ~n w in
+          let msgs = ref 0 in
+          for v = lo to hi - 1 do
+            msgs := !msgs + List.length out.(v)
+          done;
+          worst := max !worst !msgs;
+          best := min !best !msgs
+        done;
+        Metrics.observe
+          (Metrics.histogram t.metrics "kernel.domain.imbalance")
+          (!worst - !best)
+      end
+    end;
+    exchange ?width t out
+
   let route ?width t msgs =
     let w = effective_width width in
     if t.san <> None then Sanitize.check_route ~phase:t.phase ~width:w msgs;
@@ -192,6 +255,7 @@ module Make (T : TRANSPORT) = struct
 
   let attach_metrics t m =
     if Metrics.enabled m then begin
+      t.metrics <- m;
       let rounds_c = Metrics.counter m "runtime.rounds" in
       let words_c = Metrics.counter m "runtime.words" in
       let events_c = Metrics.counter m "runtime.events" in
@@ -208,7 +272,12 @@ module Make (T : TRANSPORT) = struct
     if Metrics.enabled m then begin
       Metrics.ingest_phases m ~prefix:("ledger." ^ kernel) (phases t);
       Metrics.set (Metrics.gauge m ("ledger." ^ kernel ^ ".words"))
-        (float_of_int t.words)
+        (float_of_int t.words);
+      Metrics.set (Metrics.gauge m "kernel.domains")
+        (float_of_int (Pool.size t.pool));
+      List.iter
+        (fun (name, v) -> Metrics.incr ~by:v (Metrics.counter m name))
+        (T.stats t.tr)
     end
 
   let charge ?phase t r =

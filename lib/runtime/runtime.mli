@@ -15,6 +15,8 @@ module Cost = Cost
 module Trace = Trace
 module Mailbox = Mailbox
 module Sanitize = Sanitize
+module Arena = Arena
+module Pool = Pool
 
 module type TRANSPORT = Transport.S
 
@@ -30,19 +32,30 @@ module type S = sig
   (** The transport's {!Transport.S.name}. *)
 
   val create :
-    ?phase:string -> ?trace_capacity:int -> ?sanitize:bool -> transport -> t
+    ?phase:string ->
+    ?trace_capacity:int ->
+    ?sanitize:bool ->
+    ?domains:int ->
+    transport ->
+    t
   (** A fresh runtime (empty ledger and trace) over an existing transport.
       [phase] (default ["main"]) is the initial ledger tag;
       [trace_capacity] (default 256) bounds the event ring. [sanitize]
       (default {!Sanitize.enabled_default}, i.e. the [CC_SANITIZE]
       environment variable) turns on the dynamic model-compliance checks
-      and determinism transcripts of {!Sanitize}. *)
+      and determinism transcripts of {!Sanitize}. [domains] (default
+      {!Pool.default_domains}, i.e. the [CC_DOMAINS] environment variable)
+      is the parallelism {!exchange_map} fans per-node steps over —
+      results are bit-identical for every value. *)
 
   val transport : t -> transport
   (** The kernel this runtime wraps (shared, not copied). *)
 
   val n : t -> int
   (** Number of nodes of the underlying kernel. *)
+
+  val domains : t -> int
+  (** The domain-pool width {!exchange_map} uses (≥ 1). *)
 
   val ledger : t -> Cost.t
   (** The single cost ledger all calls charge into. *)
@@ -102,6 +115,20 @@ module type S = sig
     (int * int array) list array
   (** {!Transport.S.exchange}, measured into the ledger under the current
       phase. *)
+
+  val exchange_map :
+    ?width:int ->
+    t ->
+    (int -> (int * int array) list) ->
+    (int * int array) list array
+  (** [exchange_map t step] is [exchange t [|step 0; ...; step (n-1)|]]
+      with the per-node outbox construction fanned over the runtime's
+      domain pool ({!domains} fixed contiguous chunks). [step v] must be a
+      proper node program step: it may read shared pre-round state but
+      must not mutate anything other than node [v]'s own slots. Rounds,
+      words, and sanitizer transcripts are bit-identical to the
+      sequential run for every domain count. Observes the
+      [kernel.domain.imbalance] histogram when metrics are attached. *)
 
   val route :
     ?width:int ->

@@ -53,4 +53,9 @@ module type S = sig
   val charge : t -> int -> unit
   (** Advance the round counter without communication (a node-local stand-in
       for a subroutine whose rounds are charged analytically). *)
+
+  val stats : t -> (string * int) list
+  (** Kernel-internal counters (full metric names, e.g.
+      [kernel.arena.resets]), exported into a registry by
+      [Runtime.S.export_metrics]. May be empty. *)
 end

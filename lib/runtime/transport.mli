@@ -44,4 +44,8 @@ module type S = sig
 
   val charge : t -> int -> unit
   (** Advance the round counter without communication (analytic costs). *)
+
+  val stats : t -> (string * int) list
+  (** Kernel-internal counters under full metric names ([kernel.*]); may
+      be empty. *)
 end

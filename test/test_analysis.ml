@@ -170,6 +170,61 @@ let test_scan_strip_preserves_lines () =
     (List.length (Scan.lines src))
     (List.length (Scan.lines stripped))
 
+(* --------------------------------------------------------- planted L8 *)
+
+let test_l8_hot_alloc () =
+  (* Only functions named by the hot marker are in scope; the marker's
+     position in the file does not matter. *)
+  let findings =
+    scan ~file:"lib/runtime/fake_kernel.ml"
+      [
+        "(* cc_lint: hot deliver scatter *)";
+        "let create n = Array.make n 0";
+        "let deliver t =";
+        "  let tbl = Hashtbl.create 16 in";
+        "  ignore tbl;";
+        "  Array.make 4 0";
+        "let cold () = Bytes.create 8";
+        "and scatter () = Bytes.create 8";
+      ]
+  in
+  check_findings "allocs inside hot functions only"
+    [ (Rule.L8, 4); (Rule.L8, 6); (Rule.L8, 8) ]
+    findings;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "message names the offending primitive" true
+        (String.length f.Lint.message > 0))
+    findings
+
+let test_l8_requires_marker () =
+  check_findings "no marker, no findings" []
+    (scan ~file:"lib/runtime/fake_kernel.ml"
+       [ "let deliver t = Hashtbl.create 16" ]);
+  (* The rule is lexical and file-global, so it also works outside lib
+     (the hot marker is an explicit opt-in, unlike the charged-layer
+     path scoping of L1/L2/L7). *)
+  check_findings "marker works in bin too"
+    [ (Rule.L8, 2) ]
+    (scan ~file:"bin/fake_tool.ml"
+       [ "(* cc_lint: hot main *)"; "let main () = Array.make 3 1" ])
+
+let test_l8_allow_suppression () =
+  check_findings "allow marker silences the hot-path rule" []
+    (scan ~file:"lib/runtime/fake_kernel.ml"
+       [
+         "(* cc_lint: hot deliver *)";
+         "let deliver t = Array.make t 0 (* cc_lint: allow L8 — escapes *)";
+       ]);
+  (* Suppressing a different rule does not silence L8. *)
+  check_findings "unrelated allow id keeps the finding"
+    [ (Rule.L8, 2) ]
+    (scan ~file:"lib/runtime/fake_kernel.ml"
+       [
+         "(* cc_lint: hot deliver *)";
+         "let deliver t = Array.make t 0 (* cc_lint: allow L5 *)";
+       ])
+
 (* ------------------------------------------------- output and catalog *)
 
 let test_report_format () =
@@ -182,7 +237,7 @@ let test_report_format () =
     = "lib/flow/x.ml:1 L2 ")
 
 let test_rule_catalog () =
-  Alcotest.(check int) "seven rules" 7 (List.length Rule.all);
+  Alcotest.(check int) "eight rules" 8 (List.length Rule.all);
   List.iter
     (fun id ->
       Alcotest.(check (option rule_t))
@@ -219,6 +274,12 @@ let suite =
     Alcotest.test_case "L6: missing mli" `Quick test_l6_missing_mli;
     Alcotest.test_case "L7: recovery in charged layer" `Quick
       test_l7_recovery_in_charged_layer;
+    Alcotest.test_case "L8: allocation in hot-marked function" `Quick
+      test_l8_hot_alloc;
+    Alcotest.test_case "L8: marker is the opt-in" `Quick
+      test_l8_requires_marker;
+    Alcotest.test_case "L8: allow suppression" `Quick
+      test_l8_allow_suppression;
     Alcotest.test_case "suppression markers" `Quick test_suppression;
     Alcotest.test_case "comment/string immunity" `Quick
       test_comment_and_string_immunity;

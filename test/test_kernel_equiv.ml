@@ -1,0 +1,324 @@
+(* The kernel differential suite: the arena message kernel and the
+   domain-parallel round execution must be bit-identical to the legacy
+   sequential path — same rounds, same words, same inbox lists, same
+   sanitizer transcript hashes (shape and content), same errors — across
+   real workloads and for every domain count. Runs standalone so CI can
+   sweep the environment:
+
+     CC_DOMAINS=4 dune exec test/test_kernel_equiv.exe
+     CC_KERNEL=legacy dune exec test/test_kernel_equiv.exe *)
+
+module San = Runtime.Sanitize
+module A = Runtime.Arena
+module M = Runtime.Mailbox
+module K = Clique.Kernel
+module S = Fault.Schedule
+module FSim = Fault.Inject.Make (Clique.Sim)
+module FRt = Runtime.Make (FSim)
+module FP = Clique.Programs.Make (FRt)
+
+(* ------------------------------------------------------ shared fixtures *)
+
+let n = 24
+
+let g = Gen.connected_gnp ~seed:5L n 0.3
+
+let gw = Gen.weighted_gnp ~seed:9L n 0.4 16
+
+let ring k =
+  let succ = Array.init k (fun i -> (i + 1) mod k) in
+  let pred = Array.init k (fun i -> (i + k - 1) mod k) in
+  let ids = Array.init k (fun i -> (i * 53) + 2) in
+  (ids, succ, pred)
+
+(* Every configuration the suite must prove equivalent: both delivery
+   engines crossed with 1, 2 and 4 domains. The pools are process-global
+   and cached, so the sweep spawns at most 1 + 3 = 4 domains total. *)
+let configs =
+  [
+    (Clique.Sim.Arena, 1);
+    (Clique.Sim.Arena, 2);
+    (Clique.Sim.Arena, 4);
+    (Clique.Sim.Legacy, 1);
+    (Clique.Sim.Legacy, 2);
+    (Clique.Sim.Legacy, 4);
+  ]
+
+let config_name (k, d) =
+  Printf.sprintf "%s/domains=%d"
+    (match k with Clique.Sim.Arena -> "arena" | Clique.Sim.Legacy -> "legacy")
+    d
+
+let with_config (kernel, domains) f =
+  Clique.Sim.set_default_kernel (Some kernel);
+  Runtime.Pool.set_default (Some domains);
+  Fun.protect
+    ~finally:(fun () ->
+      Clique.Sim.set_default_kernel None;
+      Runtime.Pool.set_default None)
+    f
+
+(* A run's identity: ledger totals plus the sanitizer's two FNV-1a
+   transcript digests. Content-hash equality pins endpoints and payload
+   words of every message of every round. *)
+let signature_t = Alcotest.(pair (triple int int int) (pair int64 int64))
+
+let signature rounds words sanitizer =
+  match sanitizer with
+  | Some s ->
+    let tr = San.transcript s in
+    ((rounds, words, tr.San.events), (tr.San.shape_hash, tr.San.content_hash))
+  | None -> Alcotest.fail "differential runs must be sanitized"
+
+let check_all_equal what = function
+  | [] | [ _ ] -> ()
+  | (ref_cfg, ref_sig) :: rest ->
+    List.iter
+      (fun (cfg, s) ->
+        Alcotest.check signature_t
+          (Printf.sprintf "%s: %s == %s" what cfg ref_cfg)
+          ref_sig s)
+      rest
+
+(* -------------------------------------------- program-level equivalence *)
+
+(* BFS + Bellman-Ford + Cole-Vishkin + Boruvka in one sanitized runtime:
+   every exchange_map fan-out, every broadcast, every charged round of all
+   four programs folds into one transcript. *)
+let drive_programs () =
+  let rt = K.On_sim.create ~sanitize:true (Clique.Sim.create n) in
+  ignore (K.Sim_programs.bfs rt g 0);
+  ignore (K.Sim_programs.bellman_ford rt gw 0);
+  let ids, succ, pred = ring n in
+  ignore (K.Sim_programs.three_color rt ~ids ~succ ~pred);
+  ignore (K.Sim_programs.boruvka rt g);
+  signature (K.On_sim.rounds rt) (K.On_sim.words rt) (K.On_sim.sanitizer rt)
+
+let test_programs_equivalent () =
+  check_all_equal "programs"
+    (List.map
+       (fun c -> (config_name c, with_config c drive_programs))
+       configs)
+
+(* The E1 workload: the full charged sparsifier pipeline builds its own
+   runtime internally, so this exercises kernel selection through
+   [Sim.default_kernel] exactly as the bench harness does. *)
+let test_sparsifier_equivalent () =
+  let runs =
+    List.map
+      (fun c ->
+        ( config_name c,
+          with_config c (fun () ->
+              let r = Sparsify.Spectral.sparsify gw in
+              ( r.Sparsify.Spectral.rounds,
+                r.Sparsify.Spectral.phase_rounds,
+                Graph.m r.Sparsify.Spectral.sparsifier )) ))
+      configs
+  in
+  match runs with
+  | [] -> ()
+  | (ref_cfg, ref_run) :: rest ->
+    List.iter
+      (fun (cfg, run) ->
+        Alcotest.(check (triple int (list (pair string int)) int))
+          (Printf.sprintf "sparsifier: %s == %s" cfg ref_cfg)
+          ref_run run)
+      rest
+
+(* ----------------------------------------------- chaos-path equivalence *)
+
+(* A nonempty fault schedule must inject bit-identically on the arena
+   path: the injector draws on (round, coordinates), all of which the
+   arena reproduces exactly. Events are compared verbatim. No Truncate
+   here: these raw programs are driven without checker/recovery armor, and
+   a zero-word payload would crash them on every kernel alike. *)
+let chaos_schedule =
+  S.create ~seed:23
+    [ S.rule S.Drop 0.15; S.rule S.Corrupt 0.15; S.rule S.Stall 0.05 ]
+
+let drive_chaos () =
+  let tr = FSim.inject ~schedule:chaos_schedule (Clique.Sim.create n) in
+  let rt = FRt.create ~sanitize:true tr in
+  ignore (FP.bfs rt g 0);
+  ignore (FP.bellman_ford rt gw 0);
+  ( signature (FRt.rounds rt) (FRt.words rt) (FRt.sanitizer rt),
+    FSim.injected_total tr,
+    FSim.injected tr,
+    List.map (Format.asprintf "%a" Fault.Inject.pp_event) (FSim.events tr) )
+
+let test_chaos_equivalent () =
+  let runs =
+    List.map (fun c -> (config_name c, with_config c drive_chaos)) configs
+  in
+  let _, (_, ref_total, _, _) = List.hd runs in
+  Alcotest.(check bool)
+    "schedule is actually injecting (nonempty cross-check)" true
+    (ref_total > 0);
+  match runs with
+  | [] -> ()
+  | (ref_cfg, (ref_sig, ref_total, ref_counts, ref_events)) :: rest ->
+    List.iter
+      (fun (cfg, (s, total, counts, events)) ->
+        Alcotest.check signature_t
+          (Printf.sprintf "chaos transcript: %s == %s" cfg ref_cfg)
+          ref_sig s;
+        Alcotest.(check int)
+          (Printf.sprintf "chaos injected total: %s == %s" cfg ref_cfg)
+          ref_total total;
+        Alcotest.(check (list (pair string int)))
+          (Printf.sprintf "chaos injected counts: %s == %s" cfg ref_cfg)
+          ref_counts counts;
+        Alcotest.(check (list string))
+          (Printf.sprintf "chaos event log: %s == %s" cfg ref_cfg)
+          ref_events events)
+      rest
+
+(* ------------------------------------------------- direct arena parity *)
+
+let inboxes_t = Alcotest.(array (list (pair int (array int))))
+
+(* A deterministic mixed workload: fan-outs, repeated pairs (within
+   width), empty outboxes, self-messages. *)
+let workload k =
+  Array.init k (fun v ->
+      if v mod 3 = 2 then []
+      else
+        [
+          ((v + 1) mod k, [| v; v * 2 |]);
+          ((v + 1) mod k, [||]);
+          ((v * 5 + 2) mod k, [| v |]);
+          (v, [| 42 |]);
+        ])
+
+let deliver_both ?dense_threshold k width outboxes =
+  let arena = A.create ?dense_threshold ~n:k () in
+  let a = A.deliver arena ~width outboxes in
+  let l = M.deliver ~n:k ~width outboxes in
+  (arena, a, l)
+
+let test_arena_matches_mailbox () =
+  List.iter
+    (fun k ->
+      let outboxes = workload k in
+      let _, (ai, aw), (li, lw) = deliver_both k 4 outboxes in
+      Alcotest.check inboxes_t
+        (Printf.sprintf "inbox lists identical in order (n=%d)" k)
+        li ai;
+      Alcotest.(check int) "words identical" lw aw)
+    [ 3; 8; 24 ]
+
+let test_arena_sparse_fallback () =
+  let k = 16 in
+  let outboxes = workload k in
+  let dense = A.create ~n:k () in
+  let sparse = A.create ~dense_threshold:0 ~n:k () in
+  Alcotest.(check bool) "default is dense at small n" true
+    (A.uses_dense_table dense);
+  Alcotest.(check bool) "threshold 0 forces the Hashtbl fallback" false
+    (A.uses_dense_table sparse);
+  let d = A.deliver dense ~width:4 outboxes in
+  let s = A.deliver sparse ~width:4 outboxes in
+  let l = M.deliver ~n:k ~width:4 outboxes in
+  Alcotest.check inboxes_t "dense == legacy" (fst l) (fst d);
+  Alcotest.check inboxes_t "sparse == legacy" (fst l) (fst s);
+  Alcotest.(check int) "words agree" (snd l) (snd d);
+  Alcotest.(check int) "words agree (sparse)" (snd l) (snd s)
+
+(* Reuse across rounds is the arena's point: same instance, many rounds,
+   including a width bump mid-stream; every round must match legacy. *)
+let test_arena_reuse_across_rounds () =
+  let k = 10 in
+  let arena = A.create ~n:k () in
+  for r = 1 to 6 do
+    let width = if r = 4 then 7 else 4 in
+    let outboxes =
+      Array.init k (fun v ->
+          List.init (r mod 3) (fun i -> ((v + i + 1) mod k, [| r; v; i |])))
+    in
+    let a = A.deliver arena ~width outboxes in
+    let l = M.deliver ~n:k ~width outboxes in
+    Alcotest.check inboxes_t
+      (Printf.sprintf "round %d identical" r)
+      (fst l) (fst a);
+    Alcotest.(check int) "words" (snd l) (snd a)
+  done;
+  let resets = List.assoc "kernel.arena.resets" (A.stats arena) in
+  Alcotest.(check int) "one reset per deliver" 6 resets
+
+let exn_to_string = function
+  | Ok _ -> "no exception"
+  | Error e -> Printexc.to_string e
+
+let capture f = match f () with v -> Ok v | exception e -> Error e
+
+(* Errors must fire at the identical message with identical fields on
+   every accounting backend. *)
+let test_arena_error_parity () =
+  let k = 8 in
+  let over =
+    (* 1->3 accumulates 1+2 words at width 2: the second message trips. *)
+    [| []; [ (3, [| 7 |]); (3, [| 8; 9 |]) ]; []; [ (0, [| 1 |]) ]; [];
+       []; []; [] |]
+  in
+  let out_of_range = [| [ (k, [| 1 |]) ]; []; []; []; []; []; []; [] |] in
+  List.iter
+    (fun (what, outboxes, width) ->
+      let legacy = capture (fun () -> M.deliver ~n:k ~width outboxes) in
+      List.iter
+        (fun (backend, dense_threshold) ->
+          let arena = A.create ~dense_threshold ~n:k () in
+          let got = capture (fun () -> A.deliver arena ~width outboxes) in
+          Alcotest.(check string)
+            (Printf.sprintf "%s on %s == legacy" what backend)
+            (exn_to_string legacy) (exn_to_string got))
+        [ ("dense", 1024); ("sparse", 0) ])
+    [
+      ("pair over budget", over, 2);
+      ("dst out of range", out_of_range, 2);
+    ]
+
+(* The CONGEST edge check runs through the arena's ?check hook; a
+   non-edge must raise identically on both kernels. *)
+let test_congest_check_parity () =
+  let path = Gen.path 4 in
+  List.iter
+    (fun kernel ->
+      let c = Clique.Congest.create ~kernel path in
+      Alcotest.(check bool)
+        (Printf.sprintf "non-edge raises on %s"
+           (config_name (kernel, 1)))
+        true
+        (try
+           ignore (Clique.Congest.exchange c [| [ (2, [| 1 |]) ]; []; []; [] |]);
+           false
+         with Clique.Congest.Not_an_edge { src = 0; dst = 2 } -> true))
+    [ Clique.Sim.Arena; Clique.Sim.Legacy ]
+
+(* ------------------------------------------------------------ the suite *)
+
+let () =
+  Alcotest.run "kernel-equiv"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "programs: arena x domains bit-identical" `Quick
+            test_programs_equivalent;
+          Alcotest.test_case "sparsifier (E1): kernel-independent" `Quick
+            test_sparsifier_equivalent;
+          Alcotest.test_case "chaos: faults inject bit-identically" `Quick
+            test_chaos_equivalent;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "deliver matches mailbox" `Quick
+            test_arena_matches_mailbox;
+          Alcotest.test_case "dense/sparse width accounting" `Quick
+            test_arena_sparse_fallback;
+          Alcotest.test_case "reuse across rounds" `Quick
+            test_arena_reuse_across_rounds;
+          Alcotest.test_case "error parity (budget, range)" `Quick
+            test_arena_error_parity;
+          Alcotest.test_case "congest edge-check parity" `Quick
+            test_congest_check_parity;
+        ] );
+    ]

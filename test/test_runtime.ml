@@ -119,6 +119,39 @@ let test_bandwidth_error_names_context () =
         true (contains printed needle))
     [ "src=0"; "dst=1"; "3 words"; "width 2" ]
 
+(* Regression for the per-link accounting key (boxed (src,dst) tuple ->
+   src*n+dst int): the budget must accumulate across separate messages on
+   the same ordered pair, and the error must name that pair — on both
+   delivery kernels. *)
+let test_bandwidth_accumulates_per_pair () =
+  List.iter
+    (fun kernel ->
+      let sim = Clique.Sim.create ~kernel 4 in
+      (* Two messages 1->3 of 1+2 words: each fits width 2, the pair does
+         not. The second message is where the budget trips. *)
+      let outboxes = [| []; [ (3, [| 7 |]); (3, [| 8; 9 |]) ]; []; [] |] in
+      let fields =
+        try
+          ignore (Clique.Sim.exchange sim outboxes);
+          None
+        with Runtime.Mailbox.Bandwidth_exceeded
+            { src; dst; words; width; phase } ->
+          Some ((src, dst, words), (width, phase))
+      in
+      Alcotest.(check (option (pair (triple int int int) (pair int string))))
+        "pair budget accumulates and the error names (src,dst,phase,width)"
+        (Some ((1, 3, 3), (2, "main")))
+        fields;
+      (* Distinct pairs never share a budget (the int key is injective). *)
+      let sim = Clique.Sim.create ~kernel 4 in
+      let inboxes =
+        Clique.Sim.exchange sim
+          [| [ (1, [| 1; 2 |]) ]; [ (2, [| 3; 4 |]) ]; []; [] |]
+      in
+      Alcotest.(check int) "distinct pairs deliver" 1
+        (List.length inboxes.(2)))
+    [ Clique.Sim.Arena; Clique.Sim.Legacy ]
+
 let test_out_of_range_dst_names_context () =
   let rt = K.On_sim.create ~sanitize:false (Clique.Sim.create 3) in
   let check_msg what f =
@@ -303,6 +336,8 @@ let suite =
       test_congest_route_and_broadcast;
     Alcotest.test_case "bandwidth error names (src,dst,phase,width)" `Quick
       test_bandwidth_error_names_context;
+    Alcotest.test_case "bandwidth accumulates per pair (both kernels)" `Quick
+      test_bandwidth_accumulates_per_pair;
     Alcotest.test_case "out-of-range dst names context" `Quick
       test_out_of_range_dst_names_context;
     Alcotest.test_case "route batch boundary" `Quick test_route_batch_boundary;
