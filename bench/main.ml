@@ -831,6 +831,82 @@ let e9_kernel () =
     reg
     [ { s_name = "all-to-all"; s_seed = 0L; s_rows = rows } ]
 
+(* ------------------------------------------------------------------ E10 *)
+
+(* Sharded execution: the same all-to-all workload as E9 driven through the
+   socket transport at 1, 2 and 4 worker processes. Every row asserts the
+   sharded session bit-identical to the in-process arena (inboxes, words,
+   rounds — the refactor's core claim), and lands the wire.* counters in
+   its stats; the wall_clock section carries the shards scaling curve
+   ("e10-shards<k>-n<j>"). *)
+
+let e10_rounds = 4
+
+let e10_shard_counts = sizes ~full:[ 1; 2; 4 ] ~reduced:[ 1; 2 ]
+
+let e10_sizes = sizes ~full:[ 64; 128; 256 ] ~reduced:[ 64; 128 ]
+
+let e10_sharded () =
+  header
+    "E10 | sharded execution - socket transport (worker processes, framed \
+     links) vs in-process arena on all-to-all exchange";
+  let reg = Metrics.create () in
+  Printf.printf "%6s %7s %8s %8s %12s %12s %8s\n" "n" "shards" "rounds"
+    "frames" "bytes-sent" "crossings" "equal";
+  let rows =
+    List.concat_map
+      (fun n ->
+        let outboxes = e9_outboxes n in
+        let arena = Clique.Sim.create ~kernel:Clique.Sim.Arena n in
+        let reference = ref [||] in
+        for _ = 1 to e10_rounds do
+          reference := Clique.Sim.exchange arena outboxes
+        done;
+        List.map
+          (fun shards ->
+            let t = Clique.Socket.create ~shards n in
+            let last = ref [||] in
+            for _ = 1 to e10_rounds do
+              last := Clique.Socket.exchange t outboxes
+            done;
+            let equal =
+              !last = !reference
+              && Clique.Socket.rounds t = Clique.Sim.rounds arena
+              && Clique.Socket.words_sent t = Clique.Sim.words_sent arena
+            in
+            assert equal;
+            let st = Clique.Socket.stats t in
+            let stat name = Option.value (List.assoc_opt name st) ~default:0 in
+            let rounds = Clique.Socket.rounds t in
+            let words = Clique.Socket.words_sent t in
+            Printf.printf "%6d %7d %8d %8d %12d %12d %8s\n" n
+              (Clique.Socket.shards t) rounds (stat "wire.frames")
+              (stat "wire.bytes_sent") (stat "shard.crossings")
+              (if equal then "yes" else "NO");
+            Clique.Socket.close t;
+            row reg
+              ~key:(Printf.sprintf "n=%d shards=%d" n shards)
+              ~params:[ ("n", J.Int n); ("shards", J.Int shards) ]
+              ~stats:
+                (("messages_per_round", J.Int (n * (n - 1)))
+                 :: ("words", J.Int words)
+                 :: List.map (fun (k, v) -> (k, J.Int v)) st)
+              ~rounds ~phases:[] ())
+          e10_shard_counts)
+      e10_sizes
+  in
+  experiment ~id:"E10"
+    ~title:
+      "sharded execution - socket transport vs in-process arena on \
+       all-to-all exchange"
+    ~note:
+      "rows assert the sharded session bit-identical to the arena kernel \
+       (inboxes, words, rounds) at every shard count; stats carry the \
+       wire.*/shard.* counters and the wall_clock section the shards \
+       scaling"
+    reg
+    [ { s_name = "shards-sweep"; s_seed = 0L; s_rows = rows } ]
+
 (* -------------------------------------------------- Bechamel wall-clock *)
 
 let wall_clock () =
@@ -906,9 +982,24 @@ let wall_clock () =
         [ mk Clique.Sim.Arena "arena"; mk Clique.Sim.Legacy "legacy" ])
       e9_sizes
   in
+  let e10 =
+    (* One persistent socket session per (shards, n): workers stay up across
+       the measured loop, so the cost is a framed round, not a spawn. *)
+    List.concat_map
+      (fun n ->
+        let outboxes = e9_outboxes n in
+        List.map
+          (fun shards ->
+            let t = Clique.Socket.create ~shards n in
+            Test.make ~name:(Printf.sprintf "e10-shards%d-n%d" shards n)
+              (Staged.stage (fun () ->
+                   ignore (Clique.Socket.exchange t outboxes))))
+          e10_shard_counts)
+      e10_sizes
+  in
   let tests =
     Test.make_grouped ~name:"repro"
-      ([ e1; e2; e3; e4; e5; e6; e7; e8 ] @ e9)
+      ([ e1; e2; e3; e4; e5; e6; e7; e8 ] @ e9 @ e10)
   in
   let quota = if reduced then 0.05 else 1.0 in
   let cfg =
@@ -957,7 +1048,8 @@ let () =
   let x7 = e7_combined () in
   let x8 = e8_ablations () in
   let x9 = e9_kernel () in
-  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8; x9 ] in
+  let x10 = e10_sharded () in
+  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8; x9; x10 ] in
   let wall = wall_clock () in
   (* E9 headline: arena-vs-legacy speedup at the largest size measured. *)
   let biggest = List.fold_left max 0 e9_sizes in

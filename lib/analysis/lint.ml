@@ -24,6 +24,14 @@ let is_charged path = List.exists (fun d -> under d path) charged_layers
    themselves and the runtime that meters them. *)
 let transport_privileged path = under "runtime" path || under "clique" path
 
+(* The only code allowed to issue raw socket syscalls: the wire layer
+   itself and the socket transport built directly on it. Everything else
+   must go through Wire.Link so framing, checksums and the byte counters
+   cannot be bypassed. *)
+let wire_privileged path =
+  under "wire" path
+  || (under "clique" path && Filename.basename path = "socket.ml")
+
 let is_lib_module path =
   match segments path with "lib" :: _ :: _ -> true | _ -> false
 
@@ -102,6 +110,21 @@ let wallclock_tokens = [ "Unix."; "Sys.time" ]
    arena-style kernels size their buffers once and reset them. *)
 let alloc_tokens = [ "Hashtbl.create"; "Array.make"; "Bytes.create" ]
 
+(* Raw socket syscalls (L9). [Unix.select] is deliberately absent: waiting
+   on descriptors does not move bytes, and drivers may multiplex. *)
+let socket_tokens =
+  [
+    "Unix.socket";
+    "Unix.socketpair";
+    "Unix.connect";
+    "Unix.accept";
+    "Unix.bind";
+    "Unix.listen";
+    "Unix.read";
+    "Unix.write";
+    "Unix.single_write";
+  ]
+
 (* The top-level binding a column-0 [let] / [let rec] / [and] line opens,
    if any — the lexical "current function" tracker rule L8 scopes hot
    regions with. Nested (indented) bindings stay inside the enclosing
@@ -133,7 +156,7 @@ let toplevel_binding code_line =
     done;
     if !j > !i then Some (String.sub code_line !i (!j - !i)) else None
 
-let line_findings ~file ~charged ~privileged ~hot lineno code_line =
+let line_findings ~file ~charged ~privileged ~wire_ok ~hot lineno code_line =
   let found = ref [] in
   let add rule message = found := (rule, message) :: !found in
   if charged then begin
@@ -173,6 +196,16 @@ let line_findings ~file ~charged ~privileged ~hot lineno code_line =
             (Printf.sprintf
                "direct transport call '%s' bypasses the Runtime ledger" tok))
       transport_tokens;
+  if not wire_ok then
+    List.iter
+      (fun tok ->
+        if mentions code_line tok then
+          add Rule.L9
+            (Printf.sprintf
+               "raw socket call '%s' outside the wire layer: use Wire.Link so \
+                framing and byte accounting apply"
+               tok))
+      socket_tokens;
   if hot then
     List.iter
       (fun tok ->
@@ -196,6 +229,7 @@ let line_findings ~file ~charged ~privileged ~hot lineno code_line =
 let scan_source ~file src =
   let charged = is_charged file in
   let privileged = transport_privileged file in
+  let wire_ok = wire_privileged file in
   (* [strip] preserves newlines, so raw and code line arrays are parallel. *)
   let raw = Array.of_list (Scan.lines src) in
   let code = Array.of_list (Scan.lines (Scan.strip src)) in
@@ -215,7 +249,7 @@ let scan_source ~file src =
       | Some nm -> current := nm
       | None -> ());
       let hot = Hashtbl.mem hot_set !current in
-      line_findings ~file ~charged ~privileged ~hot (idx + 1) code_line
+      line_findings ~file ~charged ~privileged ~wire_ok ~hot (idx + 1) code_line
       |> List.iter (fun f ->
              if not (Rule.suppressed f.rule raw.(idx)) then
                findings := f :: !findings))

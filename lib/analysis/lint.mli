@@ -6,8 +6,10 @@
     wall-clock state (L1, L2); transports may only be driven through the
     [Runtime] ledger outside [lib/runtime] and [lib/clique] (L3); [Obj.magic]
     (L4) and catch-all handlers (L5) are forbidden everywhere; every [lib]
-    module ships an [.mli] (L6). Scanning is purely lexical (see {!Scan}),
-    so sources can be checked in memory without a compiler. *)
+    module ships an [.mli] (L6); raw socket syscalls are confined to
+    [lib/wire] and the socket transport (L9). Scanning is purely lexical
+    (see {!Scan}), so sources can be checked in memory without a
+    compiler. *)
 
 type finding = { file : string; line : int; rule : Rule.id; message : string }
 
@@ -36,3 +38,8 @@ val is_charged : string -> bool
 
 val transport_privileged : string -> bool
 (** Whether a path may touch [Sim]/[Congest] directly. *)
+
+val wire_privileged : string -> bool
+(** Whether a path may issue raw socket syscalls ([Unix.socket],
+    [Unix.connect], [Unix.read], [Unix.write], ...): [lib/wire/**] and
+    [lib/clique/socket.ml] only. Rule L9 flags them everywhere else. *)

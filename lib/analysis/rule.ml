@@ -1,6 +1,6 @@
-type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9
 
-let all = [ L1; L2; L3; L4; L5; L6; L7; L8 ]
+let all = [ L1; L2; L3; L4; L5; L6; L7; L8; L9 ]
 
 let to_string = function
   | L1 -> "L1"
@@ -11,6 +11,7 @@ let to_string = function
   | L6 -> "L6"
   | L7 -> "L7"
   | L8 -> "L8"
+  | L9 -> "L9"
 
 let of_string = function
   | "L1" -> Some L1
@@ -21,6 +22,7 @@ let of_string = function
   | "L6" -> Some L6
   | "L7" -> Some L7
   | "L8" -> Some L8
+  | "L9" -> Some L9
   | _ -> None
 
 let synopsis = function
@@ -45,6 +47,10 @@ let synopsis = function
     "allocation in a hot-path function (Hashtbl.create, Array.make or \
      Bytes.create inside a function named by a (* cc_lint: hot ... *) \
      marker): the round hot path preallocates and reuses"
+  | L9 ->
+    "raw socket I/O outside the wire layer (Unix.socket, connect, accept, \
+     read, write, ...): all inter-process bytes go through Wire.Link so \
+     framing, checksums and byte accounting cannot be bypassed"
 
 let allow_marker = "cc_lint: allow"
 
@@ -81,9 +87,10 @@ let hot_names raw_line =
   find 0
 
 (* A raw source line suppresses [id] iff it carries a
-   [(* cc_lint: allow L2 L5 *)]-style marker naming that id. *)
+   [(* cc_lint: allow L2 L5 *)]-style marker naming that id. Id tokens
+   match case-insensitively, so [(* cc_lint: allow l9 *)] works too. *)
 let suppressed id raw_line =
-  let name = to_string id in
+  let name = String.lowercase_ascii (to_string id) in
   let len = String.length raw_line in
   let mlen = String.length allow_marker in
   let rec find i =
@@ -108,7 +115,9 @@ let suppressed id raw_line =
         do
           incr j
         done;
-        if String.sub raw_line i (!j - i) = name then true else loop !j
+        if String.lowercase_ascii (String.sub raw_line i (!j - i)) = name then
+          true
+        else loop !j
       end
     in
     loop i

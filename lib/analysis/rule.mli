@@ -3,10 +3,10 @@
     Every reproduced claim (Theorems 1.1-1.4, Theorem 3.3) is deterministic
     and priced in congested-clique rounds with O(log n)-bit messages; each
     rule names one way a source file can silently step outside that model.
-    Rules are identified as [L1]..[L8] and can be suppressed per line with a
-    [(* cc_lint: allow L2 *)] comment. *)
+    Rules are identified as [L1]..[L9] and can be suppressed per line with a
+    [(* cc_lint: allow L2 *)] comment (ids match case-insensitively). *)
 
-type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9
 
 val all : id list
 (** In ascending order. *)
@@ -23,7 +23,8 @@ val allow_marker : string
 
 val suppressed : id -> string -> bool
 (** [suppressed id raw_line] is [true] iff the raw (uncommented-out) line
-    carries a suppression marker naming [id]. *)
+    carries a suppression marker naming [id]. The id tokens after the
+    marker are matched case-insensitively ([l9] suppresses [L9]). *)
 
 val hot_marker : string
 (** The literal hot-path marker, ["cc_lint: hot"]. A comment

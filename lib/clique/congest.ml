@@ -23,7 +23,9 @@ let create ?kernel graph =
   in
   let arena =
     match kernel with
-    | Sim.Arena -> Some (Runtime.Arena.create ~n ())
+    (* Sharded execution is clique-only; a CONGEST instance created under a
+       shard default runs in-process on the arena kernel. *)
+    | Sim.Arena | Sim.Shard -> Some (Runtime.Arena.create ~n ())
     | Sim.Legacy -> None
   in
   { graph; neighbors; arena; rounds = 0; words_sent = 0 }

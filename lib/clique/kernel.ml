@@ -1,7 +1,9 @@
 module On_sim = Runtime.Make (Sim)
 module On_congest = Runtime.Make (Congest)
+module On_socket = Runtime.Make (Socket)
 module Sim_programs = Programs.Make (On_sim)
 module Congest_programs = Programs.Make (On_congest)
+module Socket_programs = Programs.Make (On_socket)
 
 type t = On_sim.t
 

@@ -15,9 +15,17 @@ module On_sim : Runtime.S with type transport = Sim.t
 
 module On_congest : Runtime.S with type transport = Congest.t
 
+module On_socket : Runtime.S with type transport = Socket.t
+(** The runtime over the raw multi-process socket transport ({!Socket}) —
+    what the differential suite drives directly when it needs a session
+    handle. Ordinary shard runs go through {!On_sim} with the [Shard]
+    kernel instead. *)
+
 module Sim_programs : Programs.S with type runtime = On_sim.t
 
 module Congest_programs : Programs.S with type runtime = On_congest.t
+
+module Socket_programs : Programs.S with type runtime = On_socket.t
 
 type t = On_sim.t
 (** The clique runtime — the type every charged layer carries. *)

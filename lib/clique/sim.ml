@@ -1,9 +1,13 @@
-type kernel = Arena | Legacy
+type kernel = Arena | Legacy | Shard
+
+type engine =
+  | Local of Runtime.Arena.t option  (** [Some] = arena, [None] = legacy *)
+  | Sharded of Socket.t
 
 type t = {
   n : int;
   kernel : kernel;
-  arena : Runtime.Arena.t option;
+  engine : engine;
   mutable rounds : int;
   mutable words_sent : int;
 }
@@ -22,56 +26,79 @@ let default_kernel () =
   | None -> (
     match Sys.getenv_opt "CC_KERNEL" with
     | Some "legacy" -> Legacy
-    | Some _ | None -> Arena)
+    | Some "shard" -> Shard
+    | Some "arena" -> Arena
+    | Some _ | None ->
+      if Runtime.Shard.default_shards () > 1 then Shard else Arena)
 
 let create ?kernel n =
   if n <= 0 then invalid_arg "Sim.create: need n > 0";
   let kernel =
     match kernel with Some k -> k | None -> default_kernel ()
   in
-  let arena =
+  let engine =
     match kernel with
-    | Arena -> Some (Runtime.Arena.create ~n ())
-    | Legacy -> None
+    | Arena -> Local (Some (Runtime.Arena.create ~n ()))
+    | Legacy -> Local None
+    | Shard -> Sharded (Socket.create n)
   in
-  { n; kernel; arena; rounds = 0; words_sent = 0 }
+  { n; kernel; engine; rounds = 0; words_sent = 0 }
 
 let n t = t.n
 
 let kernel_of t = t.kernel
 
-let rounds t = t.rounds
+let rounds t =
+  match t.engine with Sharded s -> Socket.rounds s | Local _ -> t.rounds
 
-let words_sent t = t.words_sent
+let words_sent t =
+  match t.engine with Sharded s -> Socket.words_sent s | Local _ -> t.words_sent
 
 let default_width = 2
 
 let deliver t ~width outboxes =
-  match t.arena with
-  | Some arena -> Runtime.Arena.deliver arena ~width outboxes
-  | None -> Runtime.Mailbox.deliver ~n:t.n ~width outboxes
+  match t.engine with
+  | Local (Some arena) -> Runtime.Arena.deliver arena ~width outboxes
+  | Local None -> Runtime.Mailbox.deliver ~n:t.n ~width outboxes
+  | Sharded _ -> assert false
 
 let exchange ?(width = default_width) t outboxes =
-  let inboxes, words = deliver t ~width outboxes in
-  t.words_sent <- t.words_sent + words;
-  t.rounds <- t.rounds + 1;
-  inboxes
+  match t.engine with
+  | Sharded s -> Socket.exchange ~width s outboxes
+  | Local _ ->
+    let inboxes, words = deliver t ~width outboxes in
+    t.words_sent <- t.words_sent + words;
+    t.rounds <- t.rounds + 1;
+    inboxes
 
 let route ?(width = default_width) t msgs =
-  let inboxes, words, batches = Runtime.Mailbox.route ~n:t.n ~width msgs in
-  t.words_sent <- t.words_sent + words;
-  t.rounds <- t.rounds + (batches * Runtime.Cost.lenzen_routing_rounds);
-  inboxes
+  match t.engine with
+  | Sharded s -> Socket.route ~width s msgs
+  | Local _ ->
+    let inboxes, words, batches = Runtime.Mailbox.route ~n:t.n ~width msgs in
+    t.words_sent <- t.words_sent + words;
+    t.rounds <- t.rounds + (batches * Runtime.Cost.lenzen_routing_rounds);
+    inboxes
 
 let broadcast ?(width = default_width) t values =
-  let view, words = Runtime.Mailbox.broadcast ~n:t.n ~width values in
-  t.words_sent <- t.words_sent + words;
-  t.rounds <- t.rounds + Runtime.Cost.broadcast_rounds;
-  view
+  match t.engine with
+  | Sharded s -> Socket.broadcast ~width s values
+  | Local _ ->
+    let view, words = Runtime.Mailbox.broadcast ~n:t.n ~width values in
+    t.words_sent <- t.words_sent + words;
+    t.rounds <- t.rounds + Runtime.Cost.broadcast_rounds;
+    view
 
 let charge t r =
   if r < 0 then invalid_arg "Sim.charge: negative rounds";
-  t.rounds <- t.rounds + r
+  match t.engine with
+  | Sharded s -> Socket.charge s r
+  | Local _ -> t.rounds <- t.rounds + r
+
+let session t = match t.engine with Sharded s -> Some s | Local _ -> None
 
 let stats t =
-  match t.arena with Some a -> Runtime.Arena.stats a | None -> []
+  match t.engine with
+  | Local (Some a) -> Runtime.Arena.stats a
+  | Local None -> []
+  | Sharded s -> Socket.stats s

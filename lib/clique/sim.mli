@@ -14,11 +14,13 @@
 
 type t
 
-type kernel = Arena | Legacy
+type kernel = Arena | Legacy | Shard
 (** Which delivery engine [exchange] runs on. [Arena] (the default) is the
     reusable-buffer counting-sort kernel of {!Runtime.Arena}; [Legacy] is
-    the list-and-[Hashtbl] {!Runtime.Mailbox.deliver} path. The two are
-    bit-identical in rounds, words, inbox contents, and sanitizer
+    the list-and-[Hashtbl] {!Runtime.Mailbox.deliver} path; [Shard] is the
+    multi-process socket transport of {!Socket}, forking
+    [Runtime.Shard.default_shards] workers at [create]. All three are
+    bit-identical in rounds, words, inbox contents, errors, and sanitizer
     transcripts — the differential suite [test_kernel_equiv] holds them to
     that. *)
 
@@ -43,8 +45,10 @@ val create : ?kernel:kernel -> int -> t
 
 val default_kernel : unit -> kernel
 (** The kernel [create] picks when [?kernel] is omitted: the value forced
-    by {!set_default_kernel} if any, else [Legacy] when [CC_KERNEL=legacy]
-    is set in the environment, else [Arena]. *)
+    by {!set_default_kernel} if any, else what [CC_KERNEL] names
+    ([legacy], [shard], [arena]); with no such forcing, [Shard] when
+    [Runtime.Shard.default_shards () > 1] (i.e. [CC_SHARDS] asks for a
+    multi-process run), else [Arena]. *)
 
 val set_default_kernel : kernel option -> unit
 (** Force (or, with [None], unforce) the {!default_kernel} result — the
@@ -96,6 +100,12 @@ val charge : t -> int -> unit
     computation stands for a subroutine whose rounds are charged, e.g. the
     final O(1)-size cycle leader election). *)
 
+val session : t -> Socket.t option
+(** The socket session behind a [Shard]-kernel instance ([None] on the
+    in-process kernels) — the hook tests use to close sessions or kill
+    workers deliberately. *)
+
 val stats : t -> (string * int) list
-(** The arena's [kernel.arena.*] counters ({!Runtime.Arena.stats}); empty
-    on the legacy kernel. *)
+(** The arena's [kernel.arena.*] counters ({!Runtime.Arena.stats}); the
+    socket transport's [wire.*]/[shard.*] counters on the [Shard] kernel;
+    empty on the legacy kernel. *)

@@ -1,0 +1,998 @@
+(* The multi-process clique: a coordinator drives CC_SHARDS spawned worker
+   processes over framed sockets (DESIGN.md §11). Workers are re-execs of
+   the current binary — OCaml 5 forbids [Unix.fork] in any process that
+   ever spawned a domain, and the coordinator's domain pools must stay
+   usable — diverted into [worker_main] by this module's initializer when
+   [CC_SHARD_WORKER] is present; links are wired by a socket rendezvous
+   (hello / peer table / ready) rather than inherited descriptors.
+   Partitioning, ordering, and error selection live in [Runtime.Shard];
+   framing and links live in [Wire]; this module is the protocol:
+
+     coordinator                     worker s
+     -----------                     --------
+     Exchange(phase,width,expect,
+              own-source batch)  ->
+                                     batches by dst shard,
+                                     one Peer frame per ordered
+                                     (s,u) pair with traffic   -> peers
+                                     merge + sort by gidx,
+                                     arena delivery
+                                  <- Inboxes slice | WidthErr | PeerDown
+
+   Every round is one frame per (coordinator, worker) direction plus at
+   most one frame per ordered (shard, shard) pair with cross traffic —
+   the shard-level analogue of Lenzen batching. Results are bit-identical
+   to the in-process kernels: same inbox contents and order, same errors
+   at the same message, same sanitizer transcripts (those are computed
+   from outboxes above the transport). A worker that dies mid-round
+   surfaces as [Runtime.Shard.Shard_down], never a hang. *)
+
+module Frame = Wire.Frame
+module Link = Wire.Link
+module Shard = Runtime.Shard
+module Mailbox = Runtime.Mailbox
+
+let name = "clique+shard"
+
+let default_width = 2
+
+(* ------------------------------------------------------- frame protocol *)
+
+let k_exchange = 1
+
+let k_peer = 2
+
+let k_inboxes = 3
+
+let k_error = 4
+
+let k_bcast = 5
+
+let k_bcast_ok = 6
+
+let k_peer_down = 7
+
+let k_shutdown = 8
+
+let k_hello = 9
+
+let k_peers = 10
+
+let k_ready = 11
+
+let put_msg w (m : Shard.msg) =
+  Frame.Writer.int w m.gidx;
+  Frame.Writer.int w m.src;
+  Frame.Writer.int w m.dst;
+  Frame.Writer.int w (Array.length m.pay);
+  Array.iter (Frame.Writer.int w) m.pay
+
+let get_pay r len =
+  let pay = Array.make len 0 in
+  for i = 0 to len - 1 do
+    pay.(i) <- Frame.Reader.int r
+  done;
+  pay
+
+let get_msg r : Shard.msg =
+  let gidx = Frame.Reader.int r in
+  let src = Frame.Reader.int r in
+  let dst = Frame.Reader.int r in
+  let len = Frame.Reader.int r in
+  { gidx; src; dst; pay = get_pay r len }
+
+let put_batch w msgs =
+  Frame.Writer.int w (List.length msgs);
+  List.iter (put_msg w) msgs
+
+let get_batch r =
+  let count = Frame.Reader.int r in
+  let acc = ref [] in
+  for _ = 1 to count do
+    acc := get_msg r :: !acc
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------- the peer mesh *)
+
+exception Peer_dead of int
+
+type rx = {
+  peer : int;
+  mutable hdr : Frame.header option;
+  mutable buf : Bytes.t;
+  mutable off : int;
+  mutable frame : Frame.t option;
+}
+
+type tx = { tpeer : int; tbuf : Bytes.t; mutable toff : int }
+
+(* One round of worker-to-worker traffic: send every outgoing batch and
+   receive one frame from every peer in [expect], interleaved through
+   select so opposing bulk sends cannot deadlock on full socket buffers.
+   Returns the received frames plus (bytes_sent, bytes_recv) for the
+   wire.* counters. Raises [Peer_dead u] on EOF/EPIPE from peer [u]. *)
+let mesh_exchange ~(peers : Link.t option array) ~sends ~expect =
+  let k = Array.length expect in
+  let link u = match peers.(u) with Some l -> l | None -> assert false in
+  let txs =
+    List.map (fun (u, payload) -> { tpeer = u; tbuf = payload; toff = 0 }) sends
+  in
+  let txs = ref txs in
+  let rxs =
+    Array.init k (fun u ->
+        if expect.(u) then
+          Some
+            {
+              peer = u;
+              hdr = None;
+              buf = Bytes.create Frame.header_bytes;
+              off = 0;
+              frame = None;
+            }
+        else None)
+  in
+  let bytes_sent = ref 0 and bytes_recv = ref 0 in
+  let rx_pending () =
+    let l = ref [] in
+    Array.iter
+      (function
+        | Some rx when rx.frame = None -> l := rx :: !l
+        | Some _ | None -> ())
+      rxs;
+    !l
+  in
+  let advance_rx rx got =
+    rx.off <- rx.off + got;
+    if rx.off = Bytes.length rx.buf then begin
+      match rx.hdr with
+      | None ->
+        let hdr = Frame.decode_header rx.buf in
+        rx.hdr <- Some hdr;
+        rx.buf <- Bytes.create hdr.Frame.len;
+        rx.off <- 0;
+        if hdr.Frame.len = 0 then rx.frame <- Some (Frame.verify hdr rx.buf)
+      | Some hdr -> rx.frame <- Some (Frame.verify hdr rx.buf)
+    end
+  in
+  let rec loop () =
+    let pending_rx = rx_pending () in
+    if !txs = [] && pending_rx = [] then ()
+    else begin
+      let rfds = List.map (fun rx -> Link.fd (link rx.peer)) pending_rx in
+      let wfds = List.map (fun tx -> Link.fd (link tx.tpeer)) !txs in
+      match Unix.select rfds wfds [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, writable, _ ->
+        List.iter
+          (fun tx ->
+            if List.mem (Link.fd (link tx.tpeer)) writable then begin
+              let remaining = Bytes.length tx.tbuf - tx.toff in
+              match
+                Unix.single_write (Link.fd (link tx.tpeer)) tx.tbuf tx.toff
+                  remaining
+              with
+              | got ->
+                tx.toff <- tx.toff + got;
+                bytes_sent := !bytes_sent + got
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | exception
+                  Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+                raise (Peer_dead tx.tpeer)
+            end)
+          !txs;
+        txs := List.filter (fun tx -> tx.toff < Bytes.length tx.tbuf) !txs;
+        List.iter
+          (fun rx ->
+            if List.mem (Link.fd (link rx.peer)) readable then begin
+              let remaining = Bytes.length rx.buf - rx.off in
+              if remaining = 0 then advance_rx rx 0
+              else
+                match
+                  Unix.read (Link.fd (link rx.peer)) rx.buf rx.off remaining
+                with
+                | 0 -> raise (Peer_dead rx.peer)
+                | got ->
+                  bytes_recv := !bytes_recv + got;
+                  advance_rx rx got
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                  raise (Peer_dead rx.peer)
+            end)
+          pending_rx;
+        loop ()
+    end
+  in
+  loop ();
+  let received = ref [] and frames_recv = ref 0 in
+  Array.iter
+    (function
+      | Some rx ->
+        incr frames_recv;
+        (match rx.frame with
+        | Some f -> received := (rx.peer, f) :: !received
+        | None -> assert false)
+      | None -> ())
+    rxs;
+  let frames_sent = List.length sends in
+  List.iter
+    (fun (u, payload) ->
+      Link.note_sent (link u) ~bytes:(Bytes.length payload) ~frames:1)
+    sends;
+  Array.iter
+    (function
+      | Some rx ->
+        let l = link rx.peer in
+        Link.note_recv l
+          ~bytes:
+            (Frame.header_bytes
+            + match rx.hdr with Some h -> h.Frame.len | None -> 0)
+          ~frames:1
+      | None -> ())
+    rxs;
+  (List.rev !received, !bytes_sent, !bytes_recv, frames_sent, !frames_recv)
+
+(* ------------------------------------------------------------ the worker *)
+
+type worker = {
+  w : int;
+  wn : int;
+  wk : int;
+  lo : int;
+  hi : int;
+  wowner : int array;
+  coord : Link.t;
+  peers : Link.t option array;
+  arena : Runtime.Arena.t;
+  pool : Runtime.Pool.t;
+}
+
+(* Inbox slices, encoded in parallel over the worker's domain pool: per
+   destination sizes are computed first, offsets prefix-summed, and each
+   chunk writes only its own byte range — deterministic bytes for any
+   CC_DOMAINS. Layout: [stats:4 ints][slice count][per dst: count, then
+   (src, len, words) per entry in inbox-list order]. *)
+let encode_reply ~pool ~stats slices =
+  let m = Array.length slices in
+  let entry_size l =
+    List.fold_left (fun a (_, p) -> a + 16 + (8 * Array.length p)) 8 l
+  in
+  let offs = Array.make (m + 1) (8 * 5) in
+  Array.iteri (fun i l -> offs.(i + 1) <- offs.(i) + entry_size l) slices;
+  let buf = Bytes.create offs.(m) in
+  let bs, br, fs, fr = stats in
+  Bytes.set_int64_le buf 0 (Int64.of_int bs);
+  Bytes.set_int64_le buf 8 (Int64.of_int br);
+  Bytes.set_int64_le buf 16 (Int64.of_int fs);
+  Bytes.set_int64_le buf 24 (Int64.of_int fr);
+  Bytes.set_int64_le buf 32 (Int64.of_int m);
+  Runtime.Pool.run pool ~n:m (fun clo chi ->
+      for d = clo to chi - 1 do
+        let p = ref offs.(d) in
+        let put v =
+          Bytes.set_int64_le buf !p (Int64.of_int v);
+          p := !p + 8
+        in
+        put (List.length slices.(d));
+        List.iter
+          (fun (src, pay) ->
+            put src;
+            put (Array.length pay);
+            Array.iter put pay)
+          slices.(d)
+      done);
+  buf
+
+let reply st ~kind ~seq payload =
+  Link.send st.coord
+    { Frame.kind; src = st.w; dst = -1; seq; payload }
+
+let overflow_payload (o : Shard.overflow) =
+  let w = Frame.Writer.create ~hint:64 () in
+  Frame.Writer.int w o.gidx;
+  Frame.Writer.int w o.src;
+  Frame.Writer.int w o.dst;
+  Frame.Writer.int w o.words;
+  Frame.Writer.int w o.width;
+  Frame.Writer.contents w
+
+let handle_exchange st (f : Frame.t) =
+  let r = Frame.Reader.of_bytes f.payload in
+  let phase = Frame.Reader.string r in
+  let width = Frame.Reader.int r in
+  let mask = Frame.Reader.int r in
+  let msgs = get_batch r in
+  Mailbox.set_context phase;
+  let parts = Shard.partition_by_dst ~owner:st.wowner ~shards:st.wk msgs in
+  let sends = ref [] in
+  for u = st.wk - 1 downto 0 do
+    if u <> st.w && parts.(u) <> [] then begin
+      let w = Frame.Writer.create ~hint:256 () in
+      put_batch w parts.(u);
+      let frame =
+        { Frame.kind = k_peer; src = st.w; dst = u; seq = f.seq;
+          payload = Frame.Writer.contents w }
+      in
+      sends := (u, Frame.encode frame) :: !sends
+    end
+  done;
+  let expect = Array.init st.wk (fun u -> mask land (1 lsl u) <> 0) in
+  match mesh_exchange ~peers:st.peers ~sends:!sends ~expect with
+  | exception Peer_dead u ->
+    let w = Frame.Writer.create ~hint:16 () in
+    Frame.Writer.int w u;
+    reply st ~kind:k_peer_down ~seq:f.seq (Frame.Writer.contents w);
+    false
+  | received, bytes_sent, bytes_recv, frames_sent, frames_recv ->
+    let peer_lists =
+      List.map
+        (fun (_, (pf : Frame.t)) -> get_batch (Frame.Reader.of_bytes pf.payload))
+        received
+    in
+    let inbound = Shard.merge_inbound (parts.(st.w) :: peer_lists) in
+    (match
+       Shard.deliver_local ~arena:st.arena ~n:st.wn ~width ~lo:st.lo ~hi:st.hi
+         inbound
+     with
+    | Shard.Overflow o -> reply st ~kind:k_error ~seq:f.seq (overflow_payload o)
+    | Shard.Inboxes slices ->
+      let payload =
+        encode_reply ~pool:st.pool
+          ~stats:(bytes_sent, bytes_recv, frames_sent, frames_recv)
+          slices
+      in
+      reply st ~kind:k_inboxes ~seq:f.seq payload);
+    true
+
+let handle_bcast st (f : Frame.t) =
+  let r = Frame.Reader.of_bytes f.payload in
+  let phase = Frame.Reader.string r in
+  let width = Frame.Reader.int r in
+  let lo = Frame.Reader.int r in
+  let count = Frame.Reader.int r in
+  Mailbox.set_context phase;
+  let values = Array.make count [||] in
+  for i = 0 to count - 1 do
+    values.(i) <- get_pay r (Frame.Reader.int r)
+  done;
+  let error = ref None in
+  (try
+     Array.iteri
+       (fun i pay ->
+         let w = Array.length pay in
+         if w > width then begin
+           error :=
+             Some
+               { Shard.gidx = lo + i; src = lo + i; dst = -1; words = w; width };
+           raise Exit
+         end)
+       values
+   with Exit -> ());
+  (match !error with
+  | Some o -> reply st ~kind:k_error ~seq:f.seq (overflow_payload o)
+  | None ->
+    let w = Frame.Writer.create ~hint:256 () in
+    Frame.Writer.int w count;
+    Array.iter
+      (fun pay ->
+        Frame.Writer.int w (Array.length pay);
+        Array.iter (Frame.Writer.int w) pay)
+      values;
+    reply st ~kind:k_bcast_ok ~seq:f.seq (Frame.Writer.contents w));
+  true
+
+let worker_serve st =
+  let continue = ref true in
+  while !continue do
+    match Link.recv st.coord with
+    | exception Link.Closed _ -> continue := false
+    | f ->
+      if f.Frame.kind = k_shutdown then continue := false
+      else if f.Frame.kind = k_exchange then continue := handle_exchange st f
+      else if f.Frame.kind = k_bcast then continue := handle_bcast st f
+      else begin
+        Printf.eprintf "shard worker %d: unexpected frame kind %d\n%!" st.w
+          f.Frame.kind;
+        continue := false
+      end
+  done
+
+(* ----------------------------------------------------- worker bootstrap *)
+
+(* A worker process is a re-exec of the current binary, spawned by the
+   coordinator with CC_SHARD_WORKER="<shard>/<shards>/<n>/<addr>" in its
+   environment; this module's initializer (bottom of file) diverts into
+   [worker_main] before the program's own entry point ever runs. *)
+
+let dial addr ~peer =
+  if String.starts_with ~prefix:"unix:" addr then
+    Link.of_fd ~peer
+      (Link.connect_unix (String.sub addr 5 (String.length addr - 5)))
+  else if String.starts_with ~prefix:"tcp:" addr then
+    Link.of_fd ~peer (Link.connect (String.sub addr 4 (String.length addr - 4)))
+  else invalid_arg (Printf.sprintf "Socket: bad rendezvous address %S" addr)
+
+let parse_spec spec =
+  match String.split_on_char '/' spec with
+  | s :: k :: n :: rest when rest <> [] -> (
+    match (int_of_string_opt s, int_of_string_opt k, int_of_string_opt n) with
+    | Some s, Some k, Some n -> (s, k, n, String.concat "/" rest)
+    | _ -> failwith "CC_SHARD_WORKER: malformed spec")
+  | _ -> failwith "CC_SHARD_WORKER: malformed spec"
+
+let worker_boot spec =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let s, k, n, coord_addr = parse_spec spec in
+  let tcp = String.starts_with ~prefix:"tcp:" coord_addr in
+  (* Own mesh listener first — its address rides in the hello, and every
+     listener therefore exists before the coordinator broadcasts the peer
+     table. *)
+  let mesh_fd, mesh_addr, mesh_path =
+    if tcp then begin
+      let host, _ =
+        Link.parse_addr (String.sub coord_addr 4 (String.length coord_addr - 4))
+      in
+      let fd = Link.listen (host ^ ":0") in
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> 0
+      in
+      (fd, Printf.sprintf "tcp:%s:%d" host port, None)
+    end
+    else begin
+      let path =
+        Printf.sprintf "%s-m%d"
+          (String.sub coord_addr 5 (String.length coord_addr - 5))
+          s
+      in
+      (Link.listen_unix path, "unix:" ^ path, Some path)
+    end
+  in
+  let coord = dial coord_addr ~peer:"coordinator" in
+  let hello = Frame.Writer.create ~hint:64 () in
+  Frame.Writer.string hello mesh_addr;
+  Link.send coord
+    { Frame.kind = k_hello; src = s; dst = -1; seq = 0;
+      payload = Frame.Writer.contents hello };
+  let pf = Link.recv coord in
+  if pf.Frame.kind <> k_peers then failwith "shard worker: expected peer table";
+  let r = Frame.Reader.of_bytes pf.Frame.payload in
+  let addrs = Array.make k "" in
+  for u = 0 to k - 1 do
+    addrs.(u) <- Frame.Reader.string r
+  done;
+  (* Full mesh: connect to every lower shard — the kernel completes those
+     connects from the listener backlog, so nobody blocks on a peer that
+     is itself still connecting — then accept every higher shard,
+     identified by its hello frame (accept order is arbitrary). *)
+  let peers = Array.make k None in
+  for u = 0 to s - 1 do
+    let l = dial addrs.(u) ~peer:(Printf.sprintf "shard%d" u) in
+    Link.send l
+      { Frame.kind = k_hello; src = s; dst = u; seq = 0;
+        payload = Bytes.create 0 };
+    peers.(u) <- Some l
+  done;
+  for _ = s + 1 to k - 1 do
+    let l = Link.of_fd ~peer:"shard" (Link.accept ~tcp_nodelay:tcp mesh_fd) in
+    let h = Link.recv l in
+    if
+      h.Frame.kind <> k_hello
+      || h.Frame.src <= s
+      || h.Frame.src >= k
+      || Option.is_some peers.(h.Frame.src)
+    then failwith "shard worker: bad mesh hello";
+    peers.(h.Frame.src) <- Some l
+  done;
+  (try Unix.close mesh_fd with Unix.Unix_error _ -> ());
+  (match mesh_path with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | None -> ());
+  Link.send coord
+    { Frame.kind = k_ready; src = s; dst = -1; seq = 0;
+      payload = Bytes.create 0 };
+  let lo, hi = Shard.bounds ~shards:k ~n s in
+  worker_serve
+    {
+      w = s;
+      wn = n;
+      wk = k;
+      lo;
+      hi;
+      wowner = Shard.owners ~shards:k ~n;
+      coord;
+      peers;
+      arena = Runtime.Arena.create ~n ();
+      pool = Runtime.Pool.get (Runtime.Pool.default_domains ());
+    }
+
+(* Never returns: a worker leaves with [Unix._exit] so the parent's at_exit
+   hooks (session closes, pool joins, channel flushes) stay the parent's. *)
+let worker_main spec =
+  match worker_boot spec with
+  | () -> Unix._exit 0
+  | exception e ->
+    Printf.eprintf "shard worker: %s\n%!" (Printexc.to_string e);
+    Unix._exit 1
+
+(* ------------------------------------------------------ the coordinator *)
+
+type state = Live | Down of int * string | Closed
+
+type t = {
+  n : int;
+  k : int;
+  owner : int array;
+  links : Link.t array;
+  pids : int array;
+  mutable seq : int;
+  mutable rounds : int;
+  mutable words_sent : int;
+  mutable peer_bytes_sent : int;
+  mutable peer_bytes_recv : int;
+  mutable peer_frames : int;
+  mutable crossings : int;
+  mutable state : state;
+}
+
+exception Bandwidth_exceeded = Mailbox.Bandwidth_exceeded
+
+let n t = t.n
+
+let shards t = t.k
+
+let pids t = Array.to_list t.pids
+
+let rounds t = t.rounds
+
+let words_sent t = t.words_sent
+
+let live : t list ref = ref []
+
+let sigpipe_ignored = ref false
+
+let reap_all t =
+  Array.iter Link.close t.links;
+  Array.iter
+    (fun pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    t.pids
+
+let close t =
+  match t.state with
+  | Closed -> ()
+  | Down _ ->
+    t.state <- Closed;
+    live := List.filter (fun s -> s != t) !live
+  | Live ->
+    t.state <- Closed;
+    live := List.filter (fun s -> s != t) !live;
+    Array.iter
+      (fun l ->
+        try
+          Link.send l
+            { Frame.kind = k_shutdown; src = -1; dst = 0; seq = 0;
+              payload = Bytes.create 0 }
+        with Link.Closed _ | Unix.Unix_error _ -> ())
+      t.links;
+    Array.iter Link.close t.links;
+    Array.iter
+      (fun pid ->
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      t.pids
+
+let shutdown_all () = List.iter close !live
+
+let exit_hook_registered = ref false
+
+(* A worker went away: kill and reap the whole family, then surface the
+   structured error — callers never hang on a dead shard. *)
+let session_down t ~shard ~during =
+  t.state <- Down (shard, during);
+  reap_all t;
+  raise (Shard.Shard_down { shard; round = t.rounds; during })
+
+let ensure_live t during =
+  match t.state with
+  | Live -> ()
+  | Down (shard, _) ->
+    raise (Shard.Shard_down { shard; round = t.rounds; during })
+  | Closed -> raise (Shard.Shard_down { shard = -1; round = t.rounds; during })
+
+let env_addr = "CC_SHARD_ADDR"
+
+let env_worker = "CC_SHARD_WORKER"
+
+(* The environment of a spawned worker: the parent's, with the worker spec
+   pinned and the effective domain count made explicit ([Pool.set_default]
+   forcings do not survive the exec). *)
+let child_env spec =
+  let skip e =
+    String.starts_with ~prefix:(env_worker ^ "=") e
+    || String.starts_with ~prefix:(Runtime.Pool.env_var ^ "=") e
+  in
+  Array.of_list
+    (List.filter (fun e -> not (skip e)) (Array.to_list (Unix.environment ()))
+    @ [
+        Printf.sprintf "%s=%s" env_worker spec;
+        Printf.sprintf "%s=%d" Runtime.Pool.env_var
+          (Runtime.Pool.default_domains ());
+      ])
+
+let session_counter = ref 0
+
+let create ?shards:requested ?addr n =
+  if n <= 0 then invalid_arg "Socket.create: need n > 0";
+  let k =
+    let r =
+      match requested with Some k -> max 1 k | None -> Shard.default_shards ()
+    in
+    min r n
+  in
+  if k > 62 then invalid_arg "Socket.create: at most 62 shards";
+  if not !sigpipe_ignored then begin
+    sigpipe_ignored := true;
+    if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  end;
+  let addr = match addr with Some a -> Some a | None -> Sys.getenv_opt env_addr in
+  let lfd, addr_str, lpath =
+    match addr with
+    | None ->
+      incr session_counter;
+      let path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "cc-wire-%d-%d" (Unix.getpid ()) !session_counter)
+      in
+      (Link.listen_unix path, "unix:" ^ path, Some path)
+    | Some a ->
+      let fd = Link.listen a in
+      let host, _ = Link.parse_addr a in
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> 0
+      in
+      (fd, Printf.sprintf "tcp:%s:%d" host port, None)
+  in
+  let tcp = addr <> None in
+  let pids = Array.make k (-1) in
+  let pending = Array.make k None in
+  let cleanup () =
+    (try Unix.close lfd with Unix.Unix_error _ -> ());
+    (match lpath with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | None -> ());
+    Array.iter (function Some l -> Link.close l | None -> ()) pending;
+    Array.iter
+      (fun pid ->
+        if pid > 0 then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+        end)
+      pids
+  in
+  let boot_fail ~shard ~during =
+    cleanup ();
+    raise (Shard.Shard_down { shard; round = 0; during })
+  in
+  (* A child that died before completing its hello, if any. *)
+  let dead_child () =
+    let dead = ref None in
+    Array.iteri
+      (fun s pid ->
+        if !dead = None && pid > 0 && pending.(s) = None then
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> ()
+          | _ -> dead := Some s
+          | exception Unix.Unix_error _ -> dead := Some s)
+      pids;
+    !dead
+  in
+  (try
+     for s = 0 to k - 1 do
+       pids.(s) <-
+         Unix.create_process_env Sys.executable_name [| Sys.executable_name |]
+           (child_env (Printf.sprintf "%d/%d/%d/%s" s k n addr_str))
+           Unix.stdin Unix.stdout Unix.stderr
+     done
+   with e ->
+     cleanup ();
+     raise e);
+  (* Hello phase: accept every worker — identified by its hello frame, the
+     accept order being scheduling-dependent — while watching for children
+     that died before connecting. *)
+  let got = ref 0 in
+  let addrs = Array.make k "" in
+  while !got < k do
+    match Unix.select [ lfd ] [] [] 0.5 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> (
+      match dead_child () with
+      | Some s -> boot_fail ~shard:s ~during:"spawn"
+      | None -> ())
+    | _ :: _, _, _ -> (
+      let l = Link.of_fd ~peer:"worker" (Link.accept ~tcp_nodelay:tcp lfd) in
+      match Link.recv l with
+      | exception (Link.Closed _ | Frame.Malformed _) ->
+        Link.close l;
+        let shard = match dead_child () with Some s -> s | None -> -1 in
+        boot_fail ~shard ~during:"hello"
+      | h ->
+        if
+          h.Frame.kind <> k_hello
+          || h.Frame.src < 0
+          || h.Frame.src >= k
+          || Option.is_some pending.(h.Frame.src)
+        then begin
+          Link.close l;
+          boot_fail ~shard:(-1) ~during:"hello"
+        end
+        else begin
+          addrs.(h.Frame.src) <-
+            Frame.Reader.string (Frame.Reader.of_bytes h.Frame.payload);
+          pending.(h.Frame.src) <- Some l;
+          incr got
+        end)
+  done;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (match lpath with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | None -> ());
+  let links =
+    Array.map (function Some l -> l | None -> assert false) pending
+  in
+  (* Peer table out, mesh establishment happens worker-side, readies in. *)
+  let table =
+    let w = Frame.Writer.create ~hint:256 () in
+    Array.iter (Frame.Writer.string w) addrs;
+    Frame.Writer.contents w
+  in
+  Array.iteri
+    (fun s l ->
+      match
+        Link.send l
+          { Frame.kind = k_peers; src = -1; dst = s; seq = 0; payload = table }
+      with
+      | () -> ()
+      | exception Link.Closed _ -> boot_fail ~shard:s ~during:"mesh")
+    links;
+  Array.iteri
+    (fun s l ->
+      match Link.recv l with
+      | exception (Link.Closed _ | Frame.Malformed _) ->
+        boot_fail ~shard:s ~during:"mesh"
+      | f -> if f.Frame.kind <> k_ready then boot_fail ~shard:s ~during:"mesh")
+    links;
+  let t =
+    {
+      n;
+      k;
+      owner = Shard.owners ~shards:k ~n;
+      links;
+      pids;
+      seq = 0;
+      rounds = 0;
+      words_sent = 0;
+      peer_bytes_sent = 0;
+      peer_bytes_recv = 0;
+      peer_frames = 0;
+      crossings = 0;
+      state = Live;
+    }
+  in
+  live := t :: !live;
+  if not !exit_hook_registered then begin
+    exit_hook_registered := true;
+    at_exit shutdown_all
+  end;
+  t
+
+(* ------------------------------------------------------- transport ops *)
+
+type outcome =
+  | Ok_inboxes of (int * int array) list array * (int * int * int * int)
+  | Ok_bcast of int array array
+  | Err of Shard.overflow
+
+let read_overflow r : Shard.overflow =
+  let gidx = Frame.Reader.int r in
+  let src = Frame.Reader.int r in
+  let dst = Frame.Reader.int r in
+  let words = Frame.Reader.int r in
+  let width = Frame.Reader.int r in
+  { gidx; src; dst; words; width }
+
+let collect_reply t ~during s =
+  match Link.recv t.links.(s) with
+  | exception Link.Closed _ -> session_down t ~shard:s ~during
+  | exception Frame.Malformed _ -> session_down t ~shard:s ~during
+  | f when f.Frame.kind = k_peer_down ->
+    let r = Frame.Reader.of_bytes f.payload in
+    session_down t ~shard:(Frame.Reader.int r) ~during
+  | f when f.Frame.kind = k_error ->
+    Err (read_overflow (Frame.Reader.of_bytes f.payload))
+  | f when f.Frame.kind = k_inboxes ->
+    let r = Frame.Reader.of_bytes f.payload in
+    let bs = Frame.Reader.int r in
+    let br = Frame.Reader.int r in
+    let fs = Frame.Reader.int r in
+    let fr = Frame.Reader.int r in
+    let m = Frame.Reader.int r in
+    let slices = Array.make m [] in
+    for d = 0 to m - 1 do
+      let count = Frame.Reader.int r in
+      let acc = ref [] in
+      for _ = 1 to count do
+        let src = Frame.Reader.int r in
+        let len = Frame.Reader.int r in
+        acc := (src, get_pay r len) :: !acc
+      done;
+      slices.(d) <- List.rev !acc
+    done;
+    Ok_inboxes (slices, (bs, br, fs, fr))
+  | f when f.Frame.kind = k_bcast_ok ->
+    let r = Frame.Reader.of_bytes f.payload in
+    let count = Frame.Reader.int r in
+    let values = Array.make count [||] in
+    for i = 0 to count - 1 do
+      values.(i) <- get_pay r (Frame.Reader.int r)
+    done;
+    Ok_bcast values
+  | _ -> session_down t ~shard:s ~during
+
+let send_to t ~during s frame =
+  match Link.send t.links.(s) frame with
+  | () -> ()
+  | exception Link.Closed _ -> session_down t ~shard:s ~during
+
+(* Of every violation found anywhere — the coordinator's range scan and
+   each worker's width scan — the one at the minimal global arrival index
+   is the one a single-process walk would have tripped on first. *)
+let raise_first_error ~range_error errors =
+  let candidates =
+    (match range_error with
+    | Some (gidx, message) -> [ (gidx, `Range message) ]
+    | None -> [])
+    @ List.map (fun (o : Shard.overflow) -> (o.gidx, `Width o)) errors
+  in
+  match List.sort (fun (a, _) (b, _) -> compare a b) candidates with
+  | [] -> ()
+  | (_, `Range message) :: _ -> invalid_arg message
+  | (_, `Width (o : Shard.overflow)) :: _ ->
+    raise
+      (Mailbox.Bandwidth_exceeded
+         {
+           src = o.src;
+           dst = o.dst;
+           words = o.words;
+           width = o.width;
+           phase = Mailbox.current_context ();
+         })
+
+let exchange ?(width = default_width) t outboxes =
+  ensure_live t "exchange";
+  t.seq <- t.seq + 1;
+  let split =
+    Shard.split_exchange ~owner:t.owner ~shards:t.k ~n:t.n ~width outboxes
+  in
+  for s = 0 to t.k - 1 do
+    let w = Frame.Writer.create ~hint:512 () in
+    Frame.Writer.string w (Mailbox.current_context ());
+    Frame.Writer.int w width;
+    let mask = ref 0 in
+    Array.iteri
+      (fun u from_u -> if from_u then mask := !mask lor (1 lsl u))
+      split.expect.(s);
+    Frame.Writer.int w !mask;
+    put_batch w split.by_src_shard.(s);
+    send_to t ~during:"exchange" s
+      { Frame.kind = k_exchange; src = -1; dst = s; seq = t.seq;
+        payload = Frame.Writer.contents w }
+  done;
+  let slices = Array.make t.k [||] in
+  let errors = ref [] in
+  for s = 0 to t.k - 1 do
+    match collect_reply t ~during:"exchange" s with
+    | Ok_inboxes (sl, (bs, br, fs, fr)) ->
+      slices.(s) <- sl;
+      t.peer_bytes_sent <- t.peer_bytes_sent + bs;
+      t.peer_bytes_recv <- t.peer_bytes_recv + br;
+      t.peer_frames <- t.peer_frames + fs;
+      ignore fr
+    | Err o -> errors := o :: !errors
+    | Ok_bcast _ -> session_down t ~shard:s ~during:"exchange"
+  done;
+  raise_first_error ~range_error:split.range_error !errors;
+  let inboxes = Array.make t.n [] in
+  for s = 0 to t.k - 1 do
+    let lo, _hi = Shard.bounds ~shards:t.k ~n:t.n s in
+    Array.iteri (fun i box -> inboxes.(lo + i) <- box) slices.(s)
+  done;
+  t.words_sent <- t.words_sent + split.words;
+  t.crossings <- t.crossings + split.crossings;
+  t.rounds <- t.rounds + 1;
+  inboxes
+
+let broadcast ?(width = default_width) t values =
+  ensure_live t "broadcast";
+  if Array.length values <> t.n then
+    invalid_arg "Mailbox.broadcast: values array length mismatch";
+  t.seq <- t.seq + 1;
+  for s = 0 to t.k - 1 do
+    let lo, hi = Shard.bounds ~shards:t.k ~n:t.n s in
+    let w = Frame.Writer.create ~hint:256 () in
+    Frame.Writer.string w (Mailbox.current_context ());
+    Frame.Writer.int w width;
+    Frame.Writer.int w lo;
+    Frame.Writer.int w (hi - lo);
+    for v = lo to hi - 1 do
+      Frame.Writer.int w (Array.length values.(v));
+      Array.iter (Frame.Writer.int w) values.(v)
+    done;
+    send_to t ~during:"broadcast" s
+      { Frame.kind = k_bcast; src = -1; dst = s; seq = t.seq;
+        payload = Frame.Writer.contents w }
+  done;
+  let view = Array.make t.n [||] in
+  let errors = ref [] in
+  for s = 0 to t.k - 1 do
+    match collect_reply t ~during:"broadcast" s with
+    | Ok_bcast slice ->
+      let lo, _ = Shard.bounds ~shards:t.k ~n:t.n s in
+      Array.iteri (fun i pay -> view.(lo + i) <- pay) slice
+    | Err o -> errors := o :: !errors
+    | Ok_inboxes _ -> session_down t ~shard:s ~during:"broadcast"
+  done;
+  raise_first_error ~range_error:None !errors;
+  let words = ref 0 in
+  Array.iter (fun pay -> words := !words + ((t.n - 1) * Array.length pay)) values;
+  t.words_sent <- t.words_sent + !words;
+  t.rounds <- t.rounds + Runtime.Cost.broadcast_rounds;
+  view
+
+(* Lenzen routing stays a coordinator-side analytic path, exactly as on
+   the in-process kernels: no charged workload drives [route] through the
+   message stream, its cost model is [⌈load/(n·width)⌉] batches either
+   way (DESIGN.md §11). *)
+let route ?(width = default_width) t msgs =
+  ensure_live t "route";
+  let inboxes, words, batches = Mailbox.route ~n:t.n ~width msgs in
+  t.words_sent <- t.words_sent + words;
+  t.rounds <- t.rounds + (batches * Runtime.Cost.lenzen_routing_rounds);
+  inboxes
+
+let charge t r =
+  if r < 0 then invalid_arg "Socket.charge: negative rounds";
+  t.rounds <- t.rounds + r
+
+let coordinator_bytes_sent t =
+  Array.fold_left (fun a l -> a + Link.bytes_sent l) 0 t.links
+
+let coordinator_bytes_recv t =
+  Array.fold_left (fun a l -> a + Link.bytes_recv l) 0 t.links
+
+let coordinator_frames t =
+  Array.fold_left (fun a l -> a + Link.frames_sent l + Link.frames_recv l) 0
+    t.links
+
+let stats t =
+  [
+    ("wire.frames", coordinator_frames t + t.peer_frames);
+    ("wire.bytes_sent", coordinator_bytes_sent t + t.peer_bytes_sent);
+    ("wire.bytes_recv", coordinator_bytes_recv t + t.peer_bytes_recv);
+    ("shard.crossings", t.crossings);
+    ("shard.shards", t.k);
+  ]
+
+(* --------------------------------------------------- worker diversion *)
+
+(* Runs at module initialization — i.e. in every executable linking this
+   library, before its own entry point. A process spawned by [create]
+   carries the worker spec in its environment and never comes back. *)
+let () =
+  match Sys.getenv_opt env_worker with
+  | Some spec -> worker_main spec
+  | None -> ()

@@ -1,0 +1,92 @@
+(** The multi-process clique: a {!Runtime.TRANSPORT} instance whose
+    delivery runs on [CC_SHARDS] spawned worker processes connected by
+    framed sockets (DESIGN.md §11).
+
+    Node IDs are partitioned into contiguous shard ranges
+    ([Runtime.Shard]); each worker delivers its range on a private
+    [Runtime.Arena], encoding its reply over its own domain pool
+    ([CC_DOMAINS] applies per shard). Per round the coordinator writes one
+    frame per worker, each worker writes at most one frame per ordered
+    (shard, shard) pair that actually carries cross traffic — shard-level
+    Lenzen batching — and replies once. Links are Unix-domain socket
+    pairs by default, TCP when [CC_SHARD_ADDR=host:port] (or [?addr]) is
+    set.
+
+    Rounds are bit-identical to the in-process kernels: same inbox
+    contents and order, same errors ({!Bandwidth_exceeded} with the same
+    (src, dst, words, width, phase) fields even when detected inside a
+    worker), same sanitizer transcripts. A worker that dies or a link
+    that hits EOF mid-round raises [Runtime.Shard.Shard_down] naming the
+    shard and round — never a hang. *)
+
+type t
+
+exception
+  Bandwidth_exceeded of {
+    src : int;
+    dst : int;
+    words : int;
+    width : int;
+    phase : string;
+  }
+(** [Runtime.Mailbox.Bandwidth_exceeded], rebound. *)
+
+val name : string
+(** ["clique+shard"]. *)
+
+val env_addr : string
+(** ["CC_SHARD_ADDR"]. *)
+
+val create : ?shards:int -> ?addr:string -> int -> t
+(** [create n] spawns the worker family by re-executing the current
+    binary ([Unix.fork] is unavailable once any domain ever ran; the
+    [CC_SHARD_WORKER] environment variable diverts the re-exec into the
+    worker loop before the program's own entry point), then wires every
+    link through a socket rendezvous: workers dial the coordinator's
+    listener, learn the peer table, and build the full worker mesh before
+    the session goes live. [shards] defaults to
+    [Runtime.Shard.default_shards ()] and is clamped to [n]; [addr]
+    defaults to [CC_SHARD_ADDR], absent meaning Unix-domain sockets under
+    the temp directory. A worker that dies during bootstrap raises
+    [Runtime.Shard.Shard_down] with [round = 0] — never a hang. *)
+
+val close : t -> unit
+(** Send shutdown frames, close links, reap the worker processes.
+    Idempotent; registered sessions are closed automatically at exit. *)
+
+val shutdown_all : unit -> unit
+(** {!close} every live session (the test-suite and at-exit hook). *)
+
+val shards : t -> int
+(** Worker-process count of this session. *)
+
+val pids : t -> int list
+(** The worker process IDs, in shard order — the fault-injection tests
+    kill one to exercise {!Runtime.Shard.Shard_down}. *)
+
+val n : t -> int
+
+val rounds : t -> int
+
+val words_sent : t -> int
+
+val default_width : int
+(** 2, as on every clique kernel. *)
+
+val exchange :
+  ?width:int -> t -> (int * int array) list array -> (int * int array) list array
+
+val route :
+  ?width:int -> t -> (int * int * int array) list -> (int * int array) list array
+(** Lenzen routing stays a coordinator-side analytic path (identical cost
+    model on every kernel; no charged workload drives it through the
+    message stream). *)
+
+val broadcast : ?width:int -> t -> int array array -> int array array
+
+val charge : t -> int -> unit
+
+val stats : t -> (string * int) list
+(** [wire.frames], [wire.bytes_sent], [wire.bytes_recv] (coordinator
+    traffic plus worker-reported mesh traffic), [shard.crossings] (count
+    of cross-shard messages), [shard.shards]. *)

@@ -92,6 +92,12 @@ let shutdown_all () =
     pools;
   Hashtbl.reset pools
 
+(* In a forked child the parent's domains do not exist (fork copies only
+   the calling thread), so the inherited pool records are dead weight that
+   must never be joined or signaled. Dropping them lets the child spawn
+   fresh pools lazily. *)
+let reset_after_fork () = Hashtbl.reset pools
+
 let spawn k =
   let shared =
     {
@@ -124,12 +130,9 @@ let get k =
       Hashtbl.replace pools k p;
       p
 
-let run t ~n f =
-  match t.shared with
-  | None -> f 0 n
-  | Some s ->
-    let k = t.size in
-    Mutex.lock s.m;
+(* Publish a job generation and run chunk 0 on the caller; entered with
+   [s.m] held. *)
+let run_parallel s ~size:k ~n f =
     s.job <- f;
     s.job_n <- n;
     s.pending <- k - 1;
@@ -152,3 +155,22 @@ let run t ~n f =
     Mutex.unlock s.m;
     (match caller_exn with Some e -> raise e | None -> ());
     (match worker_exn with Some e -> raise e | None -> ())
+
+let run t ~n f =
+  match t.shared with
+  | None -> f 0 n
+  | Some s ->
+    let k = t.size in
+    Mutex.lock s.m;
+    if s.stop then begin
+      (* The pool was shut down after this handle was captured (e.g. by
+         the at-exit hook, or an explicit [shutdown_all]): run the same
+         fixed chunk schedule sequentially — bit-identical results, no
+         domains involved. *)
+      Mutex.unlock s.m;
+      for w = 0 to k - 1 do
+        let lo, hi = chunk_bounds ~size:k ~n w in
+        f lo hi
+      done
+    end
+    else run_parallel s ~size:k ~n f

@@ -17,6 +17,10 @@
 type t
 (** A pool of worker domains (the caller counts as worker 0). *)
 
+val env_var : string
+(** ["CC_DOMAINS"] — the shard coordinator pins it in worker environments
+    so [set_default] forcings survive the exec. *)
+
 val default_domains : unit -> int
 (** The domain count a runtime uses when [create] omits [~domains]: the
     value forced by {!set_default} if any, else the [CC_DOMAINS]
@@ -38,6 +42,19 @@ val chunk_bounds : size:int -> n:int -> int -> int * int
 (** [chunk_bounds ~size ~n w] is the half-open range [(lo, hi)] of items
     worker [w] processes out of [0..n-1] — the fixed balanced partition
     [lo = w*n/size], [hi = (w+1)*n/size]. *)
+
+val shutdown_all : unit -> unit
+(** Stop and join every spawned pool and forget them; the next {!get}
+    spawns afresh. Runs automatically at process exit. A runtime still
+    holding a shut-down pool degrades safely: {!run} detects the stop
+    flag and executes the identical fixed chunk schedule sequentially. *)
+
+val reset_after_fork : unit -> unit
+(** Drop every inherited pool record without joining — the parent's
+    domains do not exist in a forked child. Call first thing after
+    [Unix.fork] in any process that intends to keep running OCaml code
+    (note that OCaml 5 forbids [fork] once any domain was ever spawned;
+    the shard runtime therefore spawns workers by re-exec instead). *)
 
 val run : t -> n:int -> (int -> int -> unit) -> unit
 (** [run t ~n f] calls [f lo hi] once per chunk of the fixed partition of

@@ -4,6 +4,7 @@ module Mailbox = Mailbox
 module Sanitize = Sanitize
 module Arena = Arena
 module Pool = Pool
+module Shard = Shard
 
 module type TRANSPORT = Transport.S
 

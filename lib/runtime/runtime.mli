@@ -17,6 +17,7 @@ module Mailbox = Mailbox
 module Sanitize = Sanitize
 module Arena = Arena
 module Pool = Pool
+module Shard = Shard
 
 module type TRANSPORT = Transport.S
 

@@ -39,30 +39,17 @@ let enabled_default () =
 
 (* ------------------------------------------------------------ FNV-1a 64 *)
 
-let fnv_offset = 0xcbf29ce484222325L
+(* One shared fold for transcripts and frame checksums: [Wire.Fnv] keeps
+   the historical encodings (ints as 8 sign-extended LE bytes, strings
+   0xff-terminated), so transcript hashes are unchanged by the move. *)
 
-let fnv_prime = 0x100000001b3L
+let fnv_offset = Wire.Fnv.offset
 
-let hash_byte h b =
-  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+let hash_int = Wire.Fnv.add_int
 
-(* Machine ints hashed as 8 little-endian bytes (sign-extended), so the
-   transcript is identical across word sizes that fit the payload range. *)
-let hash_int h v =
-  let h = ref h and v = ref v in
-  for _ = 1 to 8 do
-    h := hash_byte !h (!v land 0xff);
-    v := !v asr 8
-  done;
-  !h
+let hash_string = Wire.Fnv.add_string
 
-let hash_string h s =
-  let h = ref h in
-  String.iter (fun c -> h := hash_byte !h (Char.code c)) s;
-  (* Terminator byte: "ab" + "c" must not collide with "a" + "bc". *)
-  hash_byte !h 0xff
-
-let hash_ints h l = List.fold_left hash_int h l
+let hash_ints = Wire.Fnv.add_ints
 
 (* ------------------------------------------------------------ the state *)
 

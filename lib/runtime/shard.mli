@@ -1,0 +1,96 @@
+(** Shard partitioning and order-preserving reassembly (DESIGN.md §11).
+
+    Node IDs are split across [CC_SHARDS] contiguous ranges (the same
+    fixed partition as [Pool.chunk_bounds]). This module holds every
+    order-sensitive piece of multi-process delivery — and none of the
+    I/O, which lives in [Clique.Socket] on top of [Wire]:
+
+    every message is tagged with its {e global arrival index} [gidx], the
+    position the in-process kernels would process it at (source ascending,
+    outbox order). Workers re-sort inbound traffic by [gidx] before
+    delivering on a local arena, and the coordinator resolves competing
+    errors by minimal [gidx] — which together make sharded rounds
+    bit-identical to single-process rounds: same inbox contents and order,
+    same error at the same message. *)
+
+val env_var : string
+(** ["CC_SHARDS"]. *)
+
+val default_shards : unit -> int
+(** The shard count a transport uses when none is forced: the value set by
+    {!set_default} if any, else [CC_SHARDS] when set to a positive
+    integer, else 1. *)
+
+val set_default : int option -> unit
+(** Force (or, with [None], unforce) {!default_shards} — the test-suite
+    hook, overriding the environment. *)
+
+exception Shard_down of { shard : int; round : int; during : string }
+(** A worker process died or its socket reached EOF mid-operation. Raised
+    by the socket transport (never a hang), naming the shard and the round
+    it went down in. *)
+
+val bounds : shards:int -> n:int -> int -> int * int
+(** [bounds ~shards ~n s] is shard [s]'s half-open node range — the fixed
+    partition [Pool.chunk_bounds ~size:shards ~n s]. *)
+
+val owners : shards:int -> n:int -> int array
+(** [owners.(v)] is the shard owning node [v]. *)
+
+type msg = { gidx : int; src : int; dst : int; pay : int array }
+
+type split = {
+  by_src_shard : msg list array;
+      (** shard [s]'s sources' messages, gidx-ascending. *)
+  expect : bool array array;
+      (** [expect.(d).(s)]: worker [d] should await a peer batch from [s]. *)
+  words : int;  (** total payload words (counted on success). *)
+  crossings : int;  (** messages whose src and dst live on different shards. *)
+  messages : int;
+  range_error : (int * string) option;
+      (** first out-of-range destination: its gidx and the exact
+          [Invalid_argument] message the in-process kernels raise. The
+          walk stops recording there. *)
+}
+
+val split_exchange :
+  owner:int array ->
+  shards:int ->
+  n:int ->
+  width:int ->
+  (int * int array) list array ->
+  split
+(** Coordinator-side split of one round's outboxes by source shard.
+    Raises [Invalid_argument] on an outbox array length mismatch (same
+    message as [Mailbox.deliver]). *)
+
+val partition_by_dst : owner:int array -> shards:int -> msg list -> msg list array
+(** Worker-side regrouping of its own sources' messages by destination
+    shard, gidx order preserved within each group. *)
+
+val merge_inbound : msg list list -> msg list
+(** Merge gidx-ascending lists into one gidx-ascending stream. *)
+
+type overflow = { gidx : int; src : int; dst : int; words : int; width : int }
+
+val first_overflow : n:int -> width:int -> msg list -> overflow option
+(** First per-ordered-pair width overflow of a gidx-ascending stream —
+    complete for the pairs this worker owns, since all messages of a pair
+    land on the destination's shard. *)
+
+type delivery =
+  | Inboxes of (int * int array) list array
+      (** per destination in [lo, hi), in the arena's inbox order. *)
+  | Overflow of overflow
+
+val deliver_local :
+  arena:Arena.t ->
+  n:int ->
+  width:int ->
+  lo:int ->
+  hi:int ->
+  msg list ->
+  delivery
+(** Deliver a worker's gidx-ascending inbound stream on its local arena
+    and slice out destinations [lo, hi). Bit-identical to the slices of a
+    single-process delivery of the full round. *)

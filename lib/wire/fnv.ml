@@ -1,0 +1,39 @@
+(* FNV-1a 64. One definition of the fold for the whole tree: the
+   sanitizer's shape/content transcripts (DESIGN.md §6) and the frame
+   checksums of [Wire.Frame] must agree byte for byte, or the cross-process
+   transcript comparison of the differential suite would be vacuous. *)
+
+let offset = 0xcbf29ce484222325L
+
+let prime = 0x100000001b3L
+
+let add_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+(* Machine ints folded as 8 little-endian bytes (sign-extended), so a
+   transcript is identical across word sizes that fit the payload range. *)
+let add_int h v =
+  let h = ref h and v = ref v in
+  for _ = 1 to 8 do
+    h := add_byte !h (!v land 0xff);
+    v := !v asr 8
+  done;
+  !h
+
+let add_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := add_byte !h (Char.code c)) s;
+  (* Terminator byte: "ab" + "c" must not collide with "a" + "bc". *)
+  add_byte !h 0xff
+
+let add_ints h l = List.fold_left add_int h l
+
+(* Raw byte range, no terminator: the frame checksum covers exactly the
+   payload region, nothing else. *)
+let add_bytes h buf ~pos ~len =
+  let h = ref h in
+  for i = pos to pos + len - 1 do
+    h := add_byte !h (Char.code (Bytes.get buf i))
+  done;
+  !h
+
+let hash_bytes buf ~pos ~len = add_bytes offset buf ~pos ~len

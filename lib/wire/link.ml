@@ -1,0 +1,177 @@
+(* A connected file descriptor carrying {!Frame}s, with byte/frame
+   counters. Both endpoint flavors the shard runtime uses are built here:
+   Unix-domain sockets (the default rendezvous between the coordinator and
+   its spawned workers) and TCP ([CC_SHARD_ADDR]). *)
+
+exception Closed of { peer : string; during : string }
+
+let () =
+  Printexc.register_printer (function
+    | Closed { peer; during } ->
+      Some (Printf.sprintf "Wire.Link.Closed(peer=%s, during=%s)" peer during)
+    | _ -> None)
+
+type t = {
+  fd : Unix.file_descr;
+  peer : string;
+  mutable bytes_sent : int;
+  mutable bytes_recv : int;
+  mutable frames_sent : int;
+  mutable frames_recv : int;
+  mutable closed : bool;
+}
+
+let of_fd ?(peer = "?") fd =
+  { fd; peer; bytes_sent = 0; bytes_recv = 0; frames_sent = 0; frames_recv = 0;
+    closed = false }
+
+let fd t = t.fd
+
+let peer t = t.peer
+
+let bytes_sent t = t.bytes_sent
+
+let bytes_recv t = t.bytes_recv
+
+let frames_sent t = t.frames_sent
+
+let frames_recv t = t.frames_recv
+
+(* The select loop of the shard mesh does its own raw I/O on [fd]; it
+   reports the traffic back through these so the counters stay whole. *)
+let note_sent t ~bytes ~frames =
+  t.bytes_sent <- t.bytes_sent + bytes;
+  t.frames_sent <- t.frames_sent + frames
+
+let note_recv t ~bytes ~frames =
+  t.bytes_recv <- t.bytes_recv + bytes;
+  t.frames_recv <- t.frames_recv + frames
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let rec write_all t b off len =
+  if len > 0 then
+    match Unix.write t.fd b off len with
+    | k ->
+      t.bytes_sent <- t.bytes_sent + k;
+      write_all t b (off + k) (len - k)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all t b off len
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      raise (Closed { peer = t.peer; during = "write" })
+
+let rec read_exact t b off len =
+  if len > 0 then
+    match Unix.read t.fd b off len with
+    | 0 -> raise (Closed { peer = t.peer; during = "read" })
+    | k ->
+      t.bytes_recv <- t.bytes_recv + k;
+      read_exact t b (off + k) (len - k)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact t b off len
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      raise (Closed { peer = t.peer; during = "read" })
+
+let send t frame =
+  let b = Frame.encode frame in
+  write_all t b 0 (Bytes.length b);
+  t.frames_sent <- t.frames_sent + 1
+
+let recv t =
+  let hdr_buf = Bytes.create Frame.header_bytes in
+  read_exact t hdr_buf 0 Frame.header_bytes;
+  let hdr = Frame.decode_header hdr_buf in
+  let payload = Bytes.create hdr.Frame.len in
+  read_exact t payload 0 hdr.Frame.len;
+  t.frames_recv <- t.frames_recv + 1;
+  Frame.verify hdr payload
+
+(* ------------------------------------------------------------ endpoints *)
+
+let pair ?(peer = "pair") () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (of_fd ~peer a, of_fd ~peer b)
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> invalid_arg (Printf.sprintf "Wire.Link.parse_addr: %S is not host:port" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 -> (host, p)
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Wire.Link.parse_addr: bad port in %S" s))
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+    | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+    | _ ->
+      invalid_arg (Printf.sprintf "Wire.Link.resolve: unknown host %S" host))
+
+let listen addr =
+  let host, port = parse_addr addr in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (resolve host, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let connect addr =
+  let host, port = parse_addr addr in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (resolve host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let accept ?(tcp_nodelay = false) lsock =
+  let fd, _ = Unix.accept lsock in
+  if tcp_nodelay then Unix.setsockopt fd Unix.TCP_NODELAY true;
+  fd
+
+(* A connected TCP pair through [lsock], made entirely inside one process —
+   the accepted end pairs with the connect issued just before it (loopback
+   accepts are FIFO). Used by the wire tests. *)
+let tcp_pair ?(peer = "tcp") lsock =
+  let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect c (Unix.getsockname lsock)
+   with e ->
+     (try Unix.close c with Unix.Unix_error _ -> ());
+     raise e);
+  let a, _ = Unix.accept lsock in
+  Unix.setsockopt c Unix.TCP_NODELAY true;
+  Unix.setsockopt a Unix.TCP_NODELAY true;
+  (of_fd ~peer c, of_fd ~peer a)

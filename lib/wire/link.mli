@@ -1,0 +1,69 @@
+(** A connected file descriptor carrying {!Frame}s.
+
+    All reads and writes loop over partial transfers and retry [EINTR]; a
+    peer that went away ([EOF], [EPIPE], [ECONNRESET]) raises {!Closed}
+    with the link's peer label — the shard coordinator turns that into a
+    structured [Runtime.Shard.Shard_down], never a hang. Every link keeps
+    byte and frame counters feeding the [wire.*] metrics. *)
+
+exception Closed of { peer : string; during : string }
+
+type t
+
+val of_fd : ?peer:string -> Unix.file_descr -> t
+(** Wrap an already-connected descriptor; [peer] labels error messages. *)
+
+val fd : t -> Unix.file_descr
+
+val peer : t -> string
+
+val send : t -> Frame.t -> unit
+(** Encode and write the whole frame (blocking). *)
+
+val recv : t -> Frame.t
+(** Read exactly one frame (blocking); verifies version and checksum,
+    raising [Frame.Malformed] on a corrupt stream and {!Closed} on EOF. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val bytes_sent : t -> int
+
+val bytes_recv : t -> int
+
+val frames_sent : t -> int
+
+val frames_recv : t -> int
+
+val note_sent : t -> bytes:int -> frames:int -> unit
+(** Fold externally-performed raw writes on {!fd} into the counters (the
+    shard mesh's select loop does its own I/O). *)
+
+val note_recv : t -> bytes:int -> frames:int -> unit
+
+val pair : ?peer:string -> unit -> t * t
+(** A connected Unix-domain socket pair — the default shard transport. *)
+
+val parse_addr : string -> string * int
+(** Split ["host:port"]; raises [Invalid_argument] otherwise. *)
+
+val listen : string -> Unix.file_descr
+(** Bind and listen on ["host:port"] (port 0 picks an ephemeral port). *)
+
+val connect : string -> Unix.file_descr
+(** Connect to ["host:port"]; sets [TCP_NODELAY]. *)
+
+val listen_unix : string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket [path], unlinking any stale
+    socket file first. *)
+
+val connect_unix : string -> Unix.file_descr
+(** Connect to a Unix-domain socket [path]. *)
+
+val accept : ?tcp_nodelay:bool -> Unix.file_descr -> Unix.file_descr
+(** Accept one connection on a listening descriptor. *)
+
+val tcp_pair : ?peer:string -> Unix.file_descr -> t * t
+(** A connected TCP pair through a {!listen} socket, both ends created in
+    the calling process (connect-then-accept; loopback accepts are FIFO,
+    so the ends match). *)

@@ -225,6 +225,48 @@ let test_l8_allow_suppression () =
          "let deliver t = Array.make t 0 (* cc_lint: allow L5 *)";
        ])
 
+(* --------------------------------------------------------- planted L9 *)
+
+let test_l9_raw_sockets () =
+  let src =
+    [
+      "let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0";
+      "let ok = Unix.getpid ()";
+      "let n = Unix.read fd buf 0 len";
+      "let m = Unix.single_write fd buf 0 len";
+      "let s = \"Unix.connect in a string is data\"";
+    ]
+  in
+  check_findings "raw socket calls flagged outside the wire layer"
+    [ (Rule.L9, 1); (Rule.L9, 3); (Rule.L9, 4) ]
+    (scan ~file:"lib/fault/fake.ml" src);
+  check_findings "bin is not wire-privileged either"
+    [ (Rule.L9, 1); (Rule.L9, 3); (Rule.L9, 4) ]
+    (scan ~file:"bin/fake_tool.ml" src)
+
+let test_l9_wire_privilege () =
+  let src = [ "let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0" ] in
+  check_findings "lib/wire may open sockets" []
+    (scan ~file:"lib/wire/fake_link.ml" src);
+  check_findings "the socket transport may too" []
+    (scan ~file:"lib/clique/socket.ml" src);
+  check_findings "the rest of lib/clique may not"
+    [ (Rule.L9, 1) ]
+    (scan ~file:"lib/clique/sim.ml" src)
+
+let test_l9_allow_suppression () =
+  (* The id token after the allow marker matches case-insensitively. *)
+  check_findings "lowercase allow marker suppresses" []
+    (scan ~file:"lib/fault/fake.ml"
+       [ "let fd = Unix.accept lsock (* cc_lint: allow l9 *)" ]);
+  check_findings "uppercase allow marker suppresses" []
+    (scan ~file:"lib/fault/fake.ml"
+       [ "let fd = Unix.accept lsock (* cc_lint: allow L9 *)" ]);
+  check_findings "unrelated allow id keeps the finding"
+    [ (Rule.L9, 1) ]
+    (scan ~file:"lib/fault/fake.ml"
+       [ "let fd = Unix.accept lsock (* cc_lint: allow L2 *)" ])
+
 (* ------------------------------------------------- output and catalog *)
 
 let test_report_format () =
@@ -237,7 +279,7 @@ let test_report_format () =
     = "lib/flow/x.ml:1 L2 ")
 
 let test_rule_catalog () =
-  Alcotest.(check int) "eight rules" 8 (List.length Rule.all);
+  Alcotest.(check int) "nine rules" 9 (List.length Rule.all);
   List.iter
     (fun id ->
       Alcotest.(check (option rule_t))
@@ -280,6 +322,12 @@ let suite =
       test_l8_requires_marker;
     Alcotest.test_case "L8: allow suppression" `Quick
       test_l8_allow_suppression;
+    Alcotest.test_case "L9: raw sockets outside the wire layer" `Quick
+      test_l9_raw_sockets;
+    Alcotest.test_case "L9: wire layer is privileged" `Quick
+      test_l9_wire_privilege;
+    Alcotest.test_case "L9: case-insensitive allow" `Quick
+      test_l9_allow_suppression;
     Alcotest.test_case "suppression markers" `Quick test_suppression;
     Alcotest.test_case "comment/string immunity" `Quick
       test_comment_and_string_immunity;

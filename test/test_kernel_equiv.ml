@@ -1,12 +1,13 @@
-(* The kernel differential suite: the arena message kernel and the
-   domain-parallel round execution must be bit-identical to the legacy
-   sequential path — same rounds, same words, same inbox lists, same
-   sanitizer transcript hashes (shape and content), same errors — across
-   real workloads and for every domain count. Runs standalone so CI can
-   sweep the environment:
+(* The kernel differential suite: the arena message kernel, the
+   domain-parallel round execution, and the multi-process socket transport
+   must be bit-identical to the legacy sequential path — same rounds, same
+   words, same inbox lists, same sanitizer transcript hashes (shape and
+   content), same errors — across real workloads, every domain count, and
+   every shard count. Runs standalone so CI can sweep the environment:
 
      CC_DOMAINS=4 dune exec test/test_kernel_equiv.exe
-     CC_KERNEL=legacy dune exec test/test_kernel_equiv.exe *)
+     CC_KERNEL=legacy dune exec test/test_kernel_equiv.exe
+     CC_SHARDS=2 dune exec test/test_kernel_equiv.exe *)
 
 module San = Runtime.Sanitize
 module A = Runtime.Arena
@@ -31,31 +32,45 @@ let ring k =
   let ids = Array.init k (fun i -> (i * 53) + 2) in
   (ids, succ, pred)
 
-(* Every configuration the suite must prove equivalent: both delivery
-   engines crossed with 1, 2 and 4 domains. The pools are process-global
-   and cached, so the sweep spawns at most 1 + 3 = 4 domains total. *)
+(* Every configuration the suite must prove equivalent: the two in-process
+   delivery engines crossed with 1, 2 and 4 domains, plus the loopback
+   socket transport crossed over CC_SHARDS in {1,2,4} x CC_DOMAINS in
+   {1,2} (the domain pool applies per shard there). Creating a socket
+   session joins all live domain pools before forking; later in-process
+   configs re-spawn them lazily, so mixing the legs is safe in any
+   order. *)
 let configs =
   [
-    (Clique.Sim.Arena, 1);
-    (Clique.Sim.Arena, 2);
-    (Clique.Sim.Arena, 4);
-    (Clique.Sim.Legacy, 1);
-    (Clique.Sim.Legacy, 2);
-    (Clique.Sim.Legacy, 4);
+    (Clique.Sim.Arena, 1, 1);
+    (Clique.Sim.Arena, 2, 1);
+    (Clique.Sim.Arena, 4, 1);
+    (Clique.Sim.Legacy, 1, 1);
+    (Clique.Sim.Legacy, 2, 1);
+    (Clique.Sim.Legacy, 4, 1);
+    (Clique.Sim.Shard, 1, 1);
+    (Clique.Sim.Shard, 2, 1);
+    (Clique.Sim.Shard, 1, 2);
+    (Clique.Sim.Shard, 2, 2);
+    (Clique.Sim.Shard, 1, 4);
+    (Clique.Sim.Shard, 2, 4);
   ]
 
-let config_name (k, d) =
-  Printf.sprintf "%s/domains=%d"
-    (match k with Clique.Sim.Arena -> "arena" | Clique.Sim.Legacy -> "legacy")
-    d
+let config_name (k, d, s) =
+  match k with
+  | Clique.Sim.Arena -> Printf.sprintf "arena/domains=%d" d
+  | Clique.Sim.Legacy -> Printf.sprintf "legacy/domains=%d" d
+  | Clique.Sim.Shard -> Printf.sprintf "shard/shards=%d/domains=%d" s d
 
-let with_config (kernel, domains) f =
+let with_config (kernel, domains, shards) f =
   Clique.Sim.set_default_kernel (Some kernel);
   Runtime.Pool.set_default (Some domains);
+  Runtime.Shard.set_default (Some shards);
   Fun.protect
     ~finally:(fun () ->
+      Clique.Socket.shutdown_all ();
       Clique.Sim.set_default_kernel None;
-      Runtime.Pool.set_default None)
+      Runtime.Pool.set_default None;
+      Runtime.Shard.set_default None)
     f
 
 (* A run's identity: ledger totals plus the sanitizer's two FNV-1a
@@ -278,7 +293,8 @@ let test_arena_error_parity () =
     ]
 
 (* The CONGEST edge check runs through the arena's ?check hook; a
-   non-edge must raise identically on both kernels. *)
+   non-edge must raise identically on every kernel (the Shard selection
+   falls back to the in-process arena for CONGEST instances). *)
 let test_congest_check_parity () =
   let path = Gen.path 4 in
   List.iter
@@ -286,13 +302,13 @@ let test_congest_check_parity () =
       let c = Clique.Congest.create ~kernel path in
       Alcotest.(check bool)
         (Printf.sprintf "non-edge raises on %s"
-           (config_name (kernel, 1)))
+           (config_name (kernel, 1, 1)))
         true
         (try
            ignore (Clique.Congest.exchange c [| [ (2, [| 1 |]) ]; []; []; [] |]);
            false
          with Clique.Congest.Not_an_edge { src = 0; dst = 2 } -> true))
-    [ Clique.Sim.Arena; Clique.Sim.Legacy ]
+    [ Clique.Sim.Arena; Clique.Sim.Legacy; Clique.Sim.Shard ]
 
 (* ------------------------------------------------------------ the suite *)
 

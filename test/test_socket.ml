@@ -1,0 +1,251 @@
+(* Socket-transport specifics that need real worker processes: frame
+   coalescing (the shard-level Lenzen batching, asserted through the
+   wire.frames metric), worker-death surfacing as [Shard_down], the TCP
+   leg, and fault-injection composing unchanged over the sharded
+   transport. Runs standalone: creating a session re-execs this binary
+   into workers, and the equivalence sweep (test_kernel_equiv.ml) already
+   owns the bit-identity legs. *)
+
+module Sock = Clique.Socket
+module Shard = Runtime.Shard
+module M = Runtime.Mailbox
+module S = Fault.Schedule
+module FSock = Fault.Inject.Make (Clique.Socket)
+
+let inboxes_t = Alcotest.(array (list (pair int (array int))))
+
+let stat name t =
+  match List.assoc_opt name (Sock.stats t) with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "missing stat %s" name)
+
+(* Every ordered pair carries one 1-word message: maximal cross-shard
+   traffic, still within the default width. *)
+let all_to_all n =
+  Array.init n (fun v ->
+      List.filter_map
+        (fun d -> if d = v then None else Some (d, [| (v * 100) + d |]))
+        (List.init n (fun d -> d)))
+
+(* ---------------------------------------------------------- coalescing *)
+
+(* One round = one request + one reply per worker on the coordinator
+   links, plus at most one mesh frame per ordered (shard, shard) pair
+   with cross traffic — here both pairs, despite 32 crossing messages. *)
+let test_coalescing_all_to_all () =
+  let n = 8 in
+  let t = Sock.create ~shards:2 n in
+  let before = stat "wire.frames" t in
+  let out = all_to_all n in
+  let expected, words = M.deliver ~n ~width:2 out in
+  Alcotest.check inboxes_t "inboxes parity" expected (Sock.exchange t out);
+  Alcotest.(check int) "frames: 2 requests + 2 replies + 2 mesh" 6
+    (stat "wire.frames" t - before);
+  Alcotest.(check int) "crossings counted" 32 (stat "shard.crossings" t);
+  Alcotest.(check int) "words" words (Sock.words_sent t);
+  Alcotest.(check int) "one round" 1 (Sock.rounds t);
+  Sock.close t
+
+let test_coalescing_no_cross_traffic () =
+  let n = 8 in
+  let t = Sock.create ~shards:2 n in
+  (* every node talks only within its own shard: no mesh frames at all *)
+  let local =
+    Array.init n (fun v ->
+        let lo = if v < 4 then 0 else 4 in
+        [ (lo + ((v - lo + 1) mod 4), [| v |]) ])
+  in
+  let before = stat "wire.frames" t in
+  let expected, _ = M.deliver ~n ~width:2 local in
+  Alcotest.check inboxes_t "local inboxes parity" expected
+    (Sock.exchange t local);
+  Alcotest.(check int) "frames: requests + replies only" 4
+    (stat "wire.frames" t - before);
+  Alcotest.(check int) "no crossings" 0 (stat "shard.crossings" t);
+  Sock.close t
+
+(* -------------------------------------------------------- error parity *)
+
+let capture f = match f () with _ -> "no exception" | exception e -> Printexc.to_string e
+
+let test_width_error_across_processes () =
+  let n = 6 in
+  let t = Sock.create ~shards:3 n in
+  let bad = Array.make n [] in
+  (* 1 -> 5 accumulates 1+2 words at width 2 (gidx 1); 4 -> 2 carries 3
+     words outright (gidx 2): the minimal-gidx violation must win, with
+     the exact in-process exception. *)
+  bad.(1) <- [ (5, [| 7 |]); (5, [| 8; 9 |]) ];
+  bad.(4) <- [ (2, [| 1; 2; 3 |]) ];
+  Alcotest.(check string) "same first width error"
+    (capture (fun () -> M.deliver ~n ~width:2 bad))
+    (capture (fun () -> Sock.exchange t bad));
+  let oob = Array.make n [] in
+  oob.(3) <- [ (n + 1, [| 1 |]) ];
+  Alcotest.(check string) "same range error"
+    (capture (fun () -> M.deliver ~n ~width:2 oob))
+    (capture (fun () -> Sock.exchange t oob));
+  (* an application error leaves the session usable *)
+  let out = all_to_all n in
+  let expected, _ = M.deliver ~n ~width:2 out in
+  Alcotest.check inboxes_t "session survives the error round" expected
+    (Sock.exchange t out);
+  let values = Array.init n (fun v -> [| v; v * v; v + 7 |]) in
+  Alcotest.(check string) "same broadcast width error"
+    (capture (fun () -> M.broadcast ~n ~width:2 values))
+    (capture (fun () -> Sock.broadcast t values));
+  Sock.close t
+
+(* -------------------------------------------------------- worker death *)
+
+let stall_schedule =
+  S.create ~seed:7 [ S.rule S.Stall 0.3; S.rule S.Drop 0.1 ]
+
+(* Kill a worker mid-session under an active fault schedule: the next
+   round must surface a structured [Shard_down] naming the shard and the
+   round — never hang — and the session must stay down. *)
+let test_worker_death_surfaces () =
+  let n = 8 in
+  let t = Sock.create ~shards:2 n in
+  let tr = FSock.inject ~schedule:stall_schedule t in
+  for _ = 1 to 3 do
+    ignore (FSock.exchange tr (all_to_all n))
+  done;
+  Alcotest.(check bool) "schedule actually injects" true
+    (FSock.injected_total tr > 0);
+  let round_before = Sock.rounds t in
+  (match Sock.pids t with
+  | [ _; pid1 ] ->
+    Unix.kill pid1 Sys.sigkill;
+    ignore (Unix.waitpid [] pid1)
+  | pids ->
+    Alcotest.fail (Printf.sprintf "expected 2 workers, got %d" (List.length pids)));
+  (match FSock.exchange tr (all_to_all n) with
+  | _ -> Alcotest.fail "exchange through a dead worker must raise"
+  | exception Shard.Shard_down { shard; round; during } ->
+    Alcotest.(check int) "names the dead shard" 1 shard;
+    Alcotest.(check int) "names the round it died in" round_before round;
+    Alcotest.(check string) "during the exchange" "exchange" during);
+  (match Sock.exchange t (all_to_all n) with
+  | _ -> Alcotest.fail "a down session must stay down"
+  | exception Shard.Shard_down { shard; _ } ->
+    Alcotest.(check int) "still names the shard" 1 shard);
+  Sock.close t
+
+(* ------------------------------------------------------------- tcp leg *)
+
+let test_tcp_leg () =
+  let n = 6 in
+  let t = Sock.create ~shards:2 ~addr:"127.0.0.1:0" n in
+  let out = all_to_all n in
+  let expected, _ = M.deliver ~n ~width:2 out in
+  Alcotest.check inboxes_t "tcp inboxes parity" expected (Sock.exchange t out);
+  let values = Array.init n (fun v -> [| v; v * v |]) in
+  Alcotest.(check (array (array int))) "tcp broadcast parity"
+    (fst (M.broadcast ~n ~width:2 values))
+    (Sock.broadcast t values);
+  let msgs = [ (0, 5, [| 3 |]); (4, 1, [| 9; 9 |]) ] in
+  let expected, _, batches = M.route ~n ~width:2 msgs in
+  Alcotest.check inboxes_t "tcp route parity" expected (Sock.route t msgs);
+  Alcotest.(check int) "route rounds charged identically"
+    (1 + Runtime.Cost.broadcast_rounds
+    + (batches * Runtime.Cost.lenzen_routing_rounds))
+    (Sock.rounds t);
+  Sock.close t
+
+(* ------------------------------------------------- fault composition *)
+
+let chaos_schedule =
+  S.create ~seed:23
+    [ S.rule S.Drop 0.15; S.rule S.Corrupt 0.15; S.rule S.Stall 0.05 ]
+
+(* Fault.Inject.Make over the sharded transport must inject exactly what
+   it injects over the in-process kernel: same counts, same event log. *)
+let test_fault_injection_composes () =
+  let n = 10 in
+  let module FSim = Fault.Inject.Make (Clique.Sim) in
+  let drive exchange injected events rounds =
+    for r = 1 to 5 do
+      ignore (exchange (Array.init n (fun v -> [ ((v + r) mod n, [| v; r |]) ])))
+    done;
+    (injected (), events (), rounds ())
+  in
+  let sim = Clique.Sim.create ~kernel:Clique.Sim.Arena n in
+  let ftr = FSim.inject ~schedule:chaos_schedule sim in
+  let ref_run =
+    drive (FSim.exchange ftr)
+      (fun () -> FSim.injected ftr)
+      (fun () ->
+        List.map (Format.asprintf "%a" Fault.Inject.pp_event) (FSim.events ftr))
+      (fun () -> FSim.rounds ftr)
+  in
+  let sock = Sock.create ~shards:2 n in
+  let str = FSock.inject ~schedule:chaos_schedule sock in
+  let got =
+    drive (FSock.exchange str)
+      (fun () -> FSock.injected str)
+      (fun () ->
+        List.map (Format.asprintf "%a" Fault.Inject.pp_event) (FSock.events str))
+      (fun () -> FSock.rounds str)
+  in
+  Sock.close sock;
+  let counts (c, _, _) = c and events (_, e, _) = e and rounds (_, _, r) = r in
+  Alcotest.(check (list (pair string int)))
+    "same injected counts" (counts ref_run) (counts got);
+  Alcotest.(check (list string)) "same event log" (events ref_run) (events got);
+  Alcotest.(check int) "same rounds" (rounds ref_run) (rounds got)
+
+(* ----------------------------------------------------------- lifecycle *)
+
+let test_shutdown_all () =
+  let a = Sock.create ~shards:2 6 in
+  let b = Sock.create ~shards:3 6 in
+  ignore (Sock.exchange a (all_to_all 6));
+  Sock.shutdown_all ();
+  List.iter
+    (fun t ->
+      match Sock.exchange t (all_to_all 6) with
+      | _ -> Alcotest.fail "closed session must refuse work"
+      | exception Shard.Shard_down _ -> ())
+    [ a; b ]
+
+let test_shards_clamped () =
+  let t = Sock.create ~shards:7 3 in
+  Alcotest.(check int) "shards clamped to n" 3 (Sock.shards t);
+  Alcotest.(check int) "one pid per shard" 3 (List.length (Sock.pids t));
+  let out = all_to_all 3 in
+  let expected, _ = M.deliver ~n:3 ~width:2 out in
+  Alcotest.check inboxes_t "clamped session delivers" expected
+    (Sock.exchange t out);
+  Sock.close t
+
+let () =
+  Alcotest.run "socket"
+    [
+      ( "coalescing",
+        [
+          Alcotest.test_case "all-to-all: one mesh frame per pair" `Quick
+            test_coalescing_all_to_all;
+          Alcotest.test_case "no cross traffic: no mesh frames" `Quick
+            test_coalescing_no_cross_traffic;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "width/range errors identical across processes"
+            `Quick test_width_error_across_processes;
+          Alcotest.test_case "worker death surfaces as Shard_down" `Quick
+            test_worker_death_surfaces;
+        ] );
+      ( "transports",
+        [
+          Alcotest.test_case "tcp leg parity" `Quick test_tcp_leg;
+          Alcotest.test_case "fault injection composes bit-identically" `Quick
+            test_fault_injection_composes;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "shutdown_all closes every session" `Quick
+            test_shutdown_all;
+          Alcotest.test_case "shards clamp to n" `Quick test_shards_clamped;
+        ] );
+    ]
