@@ -1,0 +1,316 @@
+(* Call-graph construction over compiler-libs parse trees (DESIGN.md §12).
+   Purely syntactic: no typing environment, so resolution works on module
+   paths — exact within a file, longest-common-suffix across files, with
+   file-local module aliases (and functor-application heads) expanded. *)
+
+type node = {
+  id : string;
+  unit_name : string;
+  path : string list;
+  name : string;
+  file : string;
+  line : int;
+}
+
+type def = {
+  node : node;
+  def_body : Parsetree.expression;
+  def_refs : (string list * int) list;  (* raw, pre-alias-expansion *)
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;  (* id -> def *)
+  order : string list;  (* ids in (file, line) order *)
+  by_name : (string, string) Hashtbl.t;  (* value name -> ids (multi) *)
+  by_file : (string, string) Hashtbl.t;  (* file -> ids (multi) *)
+  aliases : (string, string list) Hashtbl.t;  (* "file\x00M" -> target path *)
+  edges : (string, (string * int) list) Hashtbl.t;  (* id -> (callee, line) *)
+  redges : (string, string) Hashtbl.t;  (* callee id -> caller ids (multi) *)
+  exts : (string, (string list * int) list) Hashtbl.t;  (* id -> unresolved *)
+}
+
+let unit_of_file file =
+  String.capitalize_ascii Filename.(remove_extension (basename file))
+
+(* ------------------------------------------------------------ collection *)
+
+let rec pattern_var (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; loc } -> Some (txt, Ast.line_of_loc loc)
+  | Ppat_constraint (p, _) -> pattern_var p
+  | _ -> None
+
+let collect_refs expr =
+  let acc = ref [] in
+  Ast.iter_expressions
+    (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+        acc := (Ast.flatten txt, Ast.line_of_loc loc) :: !acc
+      | _ -> ())
+    expr;
+  List.rev !acc
+
+let alias_key file m = file ^ "\x00" ^ m
+
+(* Head module identifier of a module expression, looking through functor
+   applications and constraints: [Runtime.Make (T)] aliases to
+   [Runtime.Make]. Structures return [None] (they define, not alias). *)
+let rec module_alias_target (me : Parsetree.module_expr) =
+  match me.pmod_desc with
+  | Pmod_ident { txt; _ } -> Some (Longident.flatten txt)
+  | Pmod_apply (f, _) -> module_alias_target f
+  | Pmod_constraint (me, _) -> module_alias_target me
+  | _ -> None
+
+let collect_impl ~defs ~aliases (impl : Ast.impl) =
+  let file = impl.file in
+  let unit_name = unit_of_file file in
+  let add_def ~path ~name ~line body =
+    let id = String.concat "." path ^ "." ^ name in
+    (* First definition of an id wins; a shadowing rebinding at the same
+       path merges its references into the same node. *)
+    match Hashtbl.find_opt defs id with
+    | Some d ->
+      Hashtbl.replace defs id
+        { d with def_refs = d.def_refs @ collect_refs body }
+    | None ->
+      let node = { id; unit_name; path; name; file; line } in
+      Hashtbl.replace defs id
+        { node; def_body = body; def_refs = collect_refs body }
+  in
+  let rec walk_structure ~path items =
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Parsetree.value_binding) ->
+              match pattern_var vb.pvb_pat with
+              | Some (name, line) -> add_def ~path ~name ~line vb.pvb_expr
+              | None ->
+                (* [let () = ...] and friends: module initialization code.
+                   It cannot be called by name but it does call others, so
+                   it gets a synthetic node and participates as a caller. *)
+                let line = Ast.line_of_loc vb.pvb_pat.ppat_loc in
+                add_def ~path ~name:(Printf.sprintf "<init:%d>" line) ~line
+                  vb.pvb_expr)
+            vbs
+        | Pstr_module mb -> walk_module ~path mb
+        | Pstr_recmodule mbs -> List.iter (walk_module ~path) mbs
+        | Pstr_include { pincl_mod; _ } -> walk_module_expr ~path pincl_mod
+        | _ -> ())
+      items
+  and walk_module ~path (mb : Parsetree.module_binding) =
+    match mb.pmb_name.txt with
+    | None -> ()
+    | Some name -> walk_named_module ~path ~name mb.pmb_expr
+  and walk_named_module ~path ~name (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure items -> walk_structure ~path:(path @ [ name ]) items
+    | Pmod_functor (_, body) -> walk_named_module ~path ~name body
+    | Pmod_constraint (me, _) -> walk_named_module ~path ~name me
+    | _ -> (
+      match module_alias_target me with
+      | Some target -> Hashtbl.replace aliases (alias_key file name) target
+      | None -> ())
+  and walk_module_expr ~path (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure items -> walk_structure ~path items
+    | Pmod_constraint (me, _) -> walk_module_expr ~path me
+    | _ -> ()
+  in
+  walk_structure ~path:[ unit_name ] impl.structure
+
+(* ------------------------------------------------------------ resolution *)
+
+(* Expand a file-local alias at the head of a module path, chasing chains
+   ([module A = B] [module B = C.D]) with a small fuel bound to survive
+   accidental cycles. *)
+let expand_aliases t ~file mods =
+  let rec go fuel mods =
+    if fuel = 0 then mods
+    else
+      match mods with
+      | [] -> []
+      | m :: rest -> (
+        match Hashtbl.find_opt t.aliases (alias_key file m) with
+        | Some target -> go (fuel - 1) (target @ rest)
+        | None -> mods)
+  in
+  go 4 mods
+
+let common_suffix_len a b =
+  let ra = List.rev a and rb = List.rev b in
+  let rec go n = function
+    | x :: xs, y :: ys when String.equal x y -> go (n + 1) (xs, ys)
+    | _ -> n
+  in
+  go 0 (ra, rb)
+
+let resolve t ~from lid =
+  match List.rev lid with
+  | [] -> []
+  | name :: rev_mods -> (
+    let mods = expand_aliases t ~file:from.file (List.rev rev_mods) in
+    let candidates =
+      Hashtbl.find_all t.by_name name
+      |> List.filter_map (fun id -> Hashtbl.find_opt t.defs id)
+      |> List.map (fun d -> d.node)
+    in
+    match mods with
+    | [] ->
+      (* Bare name: same file only, preferring the reference's own module
+         path, then any enclosing/other path in the file. *)
+      let same_file = List.filter (fun n -> n.file = from.file) candidates in
+      let same_path = List.filter (fun n -> n.path = from.path) same_file in
+      if same_path <> [] then same_path else same_file
+    | _ -> (
+      let scored =
+        List.filter_map
+          (fun n ->
+            let s = common_suffix_len mods n.path in
+            if s > 0 then Some (s, n) else None)
+          candidates
+      in
+      match scored with
+      | [] -> []
+      | scored ->
+        let best = List.fold_left (fun acc (s, _) -> max acc s) 0 scored in
+        List.filter_map (fun (s, n) -> if s = best then Some n else None) scored
+      ))
+
+(* ----------------------------------------------------------------- build *)
+
+let build impls =
+  let defs = Hashtbl.create 512 in
+  let aliases = Hashtbl.create 64 in
+  List.iter (collect_impl ~defs ~aliases) impls;
+  let t =
+    {
+      defs;
+      order = [];
+      by_name = Hashtbl.create 512;
+      by_file = Hashtbl.create 64;
+      aliases;
+      edges = Hashtbl.create 512;
+      redges = Hashtbl.create 512;
+      exts = Hashtbl.create 512;
+    }
+  in
+  let all = Hashtbl.fold (fun _ d acc -> d :: acc) defs [] in
+  let all =
+    List.sort
+      (fun a b -> compare (a.node.file, a.node.line, a.node.id)
+          (b.node.file, b.node.line, b.node.id))
+      all
+  in
+  List.iter
+    (fun d ->
+      Hashtbl.add t.by_name d.node.name d.node.id;
+      Hashtbl.add t.by_file d.node.file d.node.id)
+    all;
+  (* Resolve every reference once, populating edges and externals. *)
+  List.iter
+    (fun d ->
+      let from = d.node in
+      let seen = Hashtbl.create 8 in
+      let edges = ref [] and exts = ref [] in
+      List.iter
+        (fun (lid, line) ->
+          match resolve t ~from lid with
+          | [] ->
+            exts := (expand_aliases t ~file:from.file lid, line) :: !exts
+          | targets ->
+            List.iter
+              (fun (n : node) ->
+                if n.id <> from.id && not (Hashtbl.mem seen n.id) then begin
+                  Hashtbl.replace seen n.id ();
+                  edges := (n.id, line) :: !edges;
+                  Hashtbl.add t.redges n.id from.id
+                end)
+              targets)
+        d.def_refs;
+      Hashtbl.replace t.edges from.id (List.rev !edges);
+      Hashtbl.replace t.exts from.id (List.rev !exts))
+    all;
+  { t with order = List.map (fun d -> d.node.id) all }
+
+(* --------------------------------------------------------------- queries *)
+
+let find t id = Hashtbl.find_opt t.defs id
+
+let nodes t = List.filter_map (fun id -> Option.map (fun d -> d.node) (find t id)) t.order
+
+let defs_in_file t file =
+  List.filter (fun n -> n.file = file) (nodes t)
+
+let callees t node =
+  match Hashtbl.find_opt t.edges node.id with
+  | None -> []
+  | Some es ->
+    List.filter_map (fun (id, _) -> Option.map (fun d -> d.node) (find t id)) es
+
+let callers t node =
+  Hashtbl.find_all t.redges node.id
+  |> List.filter_map (fun id -> Option.map (fun d -> d.node) (find t id))
+
+let externals t node =
+  match Hashtbl.find_opt t.exts node.id with None -> [] | Some es -> es
+
+let refs t node =
+  match find t node.id with
+  | None -> []
+  | Some d ->
+    List.map
+      (fun (lid, line) -> (expand_aliases t ~file:node.file lid, line))
+      d.def_refs
+
+let body t node =
+  match find t node.id with
+  | Some d -> d.def_body
+  | None -> invalid_arg ("Callgraph.body: unknown node " ^ node.id)
+
+let call_line t ~caller ~callee =
+  match Hashtbl.find_opt t.edges caller.id with
+  | None -> None
+  | Some es ->
+    List.find_map (fun (id, line) -> if id = callee.id then Some line else None) es
+
+(* ------------------------------------------------------------------ dot *)
+
+let to_dot t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  let cluster = ref 0 in
+  let by_file = Hashtbl.create 32 in
+  List.iter
+    (fun n ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_file n.file) in
+      Hashtbl.replace by_file n.file (n :: prev))
+    (nodes t);
+  let files =
+    Hashtbl.fold (fun f _ acc -> f :: acc) by_file [] |> List.sort compare
+  in
+  List.iter
+    (fun file ->
+      let ns = List.rev (Hashtbl.find by_file file) in
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" !cluster
+           file);
+      incr cluster;
+      List.iter
+        (fun n -> Buffer.add_string buf (Printf.sprintf "    \"%s\";\n" n.id))
+        ns;
+      Buffer.add_string buf "  }\n")
+    files;
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (c : node) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" -> \"%s\";\n" n.id c.id))
+        (callees t n))
+    (nodes t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,82 @@
+(* Reachability fixpoints over Callgraph (DESIGN.md §12). Both directions
+   are plain BFS over the resolved edges, so witness paths are shortest by
+   construction and the whole analysis is linear in edges. *)
+
+type path = { hops : Callgraph.node list; sink : string; line : int }
+
+type hit =
+  | Direct of string * int  (* sink name, reference line *)
+  | Via of string  (* id of the next hop toward the sink *)
+
+let sinks_reachable g ~is_sink ~descend =
+  let state : (string, hit) Hashtbl.t = Hashtbl.create 256 in
+  let all = Callgraph.nodes g in
+  (* Seed: nodes referencing a sink primitive directly. *)
+  let frontier = Queue.create () in
+  List.iter
+    (fun n ->
+      match
+        List.find_opt (fun (lid, _) -> is_sink lid) (Callgraph.externals g n)
+      with
+      | Some (lid, line) ->
+        Hashtbl.replace state n.Callgraph.id
+          (Direct (String.concat "." lid, line));
+        Queue.add n frontier
+      | None -> ())
+    all;
+  (* Propagate callee -> caller, crossing only descendable callees. *)
+  while not (Queue.is_empty frontier) do
+    let n = Queue.pop frontier in
+    if descend n then
+      List.iter
+        (fun (caller : Callgraph.node) ->
+          if not (Hashtbl.mem state caller.id) then begin
+            Hashtbl.replace state caller.id (Via n.Callgraph.id);
+            Queue.add caller frontier
+          end)
+        (Callgraph.callers g n)
+  done;
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun (n : Callgraph.node) -> Hashtbl.replace by_id n.id n) all;
+  fun (node : Callgraph.node) ->
+    match Hashtbl.find_opt state node.id with
+    | None -> None
+    | Some first ->
+      let rec chain acc (n : Callgraph.node) hit =
+        match hit with
+        | Direct (sink, line) -> (List.rev (n :: acc), sink, line)
+        | Via next_id ->
+          let next = Hashtbl.find by_id next_id in
+          chain (n :: acc) next (Hashtbl.find state next_id)
+      in
+      let hops, sink, direct_line = chain [] node first in
+      let line =
+        match hops with
+        | _ :: (second : Callgraph.node) :: _ ->
+          Option.value ~default:node.line
+            (Callgraph.call_line g ~caller:node ~callee:second)
+        | _ -> direct_line
+      in
+      Some { hops; sink; line }
+
+let reachable_from g ~roots =
+  let seen = Hashtbl.create 256 in
+  let frontier = Queue.create () in
+  List.iter
+    (fun (r : Callgraph.node) ->
+      if not (Hashtbl.mem seen r.id) then begin
+        Hashtbl.replace seen r.id ();
+        Queue.add r frontier
+      end)
+    roots;
+  while not (Queue.is_empty frontier) do
+    let n = Queue.pop frontier in
+    List.iter
+      (fun (c : Callgraph.node) ->
+        if not (Hashtbl.mem seen c.id) then begin
+          Hashtbl.replace seen c.id ();
+          Queue.add c frontier
+        end)
+      (Callgraph.callees g n)
+  done;
+  fun (n : Callgraph.node) -> Hashtbl.mem seen n.id

@@ -1,0 +1,37 @@
+(** Interprocedural reachability over the call graph.
+
+    Two fixpoints, both BFS so witness paths are shortest:
+
+    - {!sinks_reachable} runs upward from sink primitives: a node whose
+      body references a sink directly seeds the frontier, and sink
+      knowledge propagates callee-to-caller — but only through callees
+      satisfying [descend] (a privileged layer is a sanctioned boundary:
+      what it does internally is its own rules' business). The result maps
+      each node to a shortest witness chain, hop by hop, ending at the
+      primitive.
+
+    - {!reachable_from} runs forward from a root set, for region analyses
+      (everything a pool-fanned closure can call). *)
+
+type path = {
+  hops : Callgraph.node list;  (** root first, direct caller of sink last *)
+  sink : string;  (** the primitive, e.g. ["Random.int"] *)
+  line : int;
+      (** line in [List.hd hops].file of the reference that starts the
+          chain: the sink reference itself for direct hits, the call to
+          the next hop otherwise *)
+}
+
+val sinks_reachable :
+  Callgraph.t ->
+  is_sink:(string list -> bool) ->
+  descend:(Callgraph.node -> bool) ->
+  Callgraph.node ->
+  path option
+(** [sinks_reachable g ~is_sink ~descend] precomputes the fixpoint on
+    first use and then answers per-node queries in O(path). [is_sink] is
+    applied to alias-expanded unresolved references. *)
+
+val reachable_from :
+  Callgraph.t -> roots:Callgraph.node list -> Callgraph.node -> bool
+(** Forward closure membership: the roots themselves are included. *)

@@ -1,0 +1,73 @@
+(* L12 — hot-path allocation from the parse tree (DESIGN.md §12). *)
+
+let alloc_prims =
+  [
+    [ "Hashtbl"; "create" ];
+    [ "Array"; "make" ];
+    [ "Bytes"; "create" ];
+  ]
+
+let alloc_prim lid =
+  (* Accept both bare and [Stdlib.]-qualified spellings. *)
+  List.find_map
+    (fun prim ->
+      let l = List.length prim in
+      let n = List.length lid in
+      if n >= l && List.filteri (fun i _ -> i >= n - l) lid = prim then
+        Some (String.concat "." prim)
+      else None)
+    alloc_prims
+
+let findings (impl : Ast.impl) =
+  let raw = Ast.raw_lines impl.src in
+  let hot = Hashtbl.create 4 in
+  Array.iter
+    (fun line ->
+      List.iter (fun nm -> Hashtbl.replace hot nm ()) (Rule.hot_names line))
+    raw;
+  if Hashtbl.length hot = 0 then []
+  else begin
+    let seen = Hashtbl.create 8 in
+    let found = ref [] in
+    Ast.iter_bindings
+      (fun ~name ~line:_ expr ->
+        if Hashtbl.mem hot name then
+          Ast.iter_expressions
+            (fun e ->
+              match e.Parsetree.pexp_desc with
+              | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+                match alloc_prim (Ast.flatten txt) with
+                | None -> ()
+                | Some prim ->
+                  let line = Ast.line_of_loc e.pexp_loc in
+                  (* Hot bindings can nest inside hot bindings; one
+                     finding per allocation site. *)
+                  if not (Hashtbl.mem seen (line, prim)) then begin
+                    Hashtbl.replace seen (line, prim) ();
+                    found :=
+                      {
+                        Lint.file = impl.file;
+                        line;
+                        rule = Rule.L12;
+                        message =
+                          Printf.sprintf
+                            "'%s' in hot function '%s': the round hot path \
+                             reuses preallocated buffers (see Runtime.Arena)"
+                            prim name;
+                      }
+                      :: !found
+                  end)
+              | _ -> ())
+            expr)
+      impl.structure;
+    List.filter
+      (fun (f : Lint.finding) ->
+        let raw_line =
+          if f.line - 1 < Array.length raw then raw.(f.line - 1) else ""
+        in
+        (* L12 supersedes L8: an existing [allow L8] marker keeps working. *)
+        not (Rule.suppressed Rule.L12 raw_line)
+        && not (Rule.suppressed Rule.L8 raw_line))
+      !found
+    |> List.sort Lint.compare_findings
+  end

@@ -37,7 +37,9 @@ val is_charged : string -> bool
 (** Whether a path lies in a charged (round-priced) layer. *)
 
 val transport_privileged : string -> bool
-(** Whether a path may touch [Sim]/[Congest] directly. *)
+(** Whether a path may touch [Sim]/[Congest] directly: [lib/runtime],
+    [lib/clique], and the harness trees ([test/], [bench/]) that exercise
+    transport primitives by design. *)
 
 val wire_privileged : string -> bool
 (** Whether a path may issue raw socket syscalls ([Unix.socket],

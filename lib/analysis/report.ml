@@ -10,8 +10,44 @@ let summary findings =
   | 1 -> "cc_lint: 1 finding"
   | k -> Printf.sprintf "cc_lint: %d findings" k
 
+(* The catalog range is derived from Rule.all, never hardcoded, so a new
+   rule appears here (and in --rules) the moment it joins the variant. *)
+let rules_range () =
+  match (Rule.all, List.rev Rule.all) with
+  | first :: _, last :: _ ->
+    Printf.sprintf "%s-%s" (Rule.to_string first) (Rule.to_string last)
+  | _ -> "none"
+
 let rules_table () =
   String.concat "\n"
     (List.map
-       (fun id -> Printf.sprintf "%s  %s" (Rule.to_string id) (Rule.synopsis id))
+       (fun id -> Printf.sprintf "%-4s %s" (Rule.to_string id) (Rule.synopsis id))
        Rule.all)
+
+let schema = "cc-lint/1"
+
+let to_json ?(errors = []) findings =
+  Metrics.Json.Assoc
+    [
+      ("schema", Metrics.Json.String schema);
+      ("rules", Metrics.Json.String (rules_range ()));
+      ("count", Metrics.Json.Int (List.length findings));
+      ( "findings",
+        Metrics.Json.List
+          (List.map
+             (fun (f : Lint.finding) ->
+               Metrics.Json.Assoc
+                 [
+                   ("file", Metrics.Json.String f.file);
+                   ("line", Metrics.Json.Int f.line);
+                   ("rule", Metrics.Json.String (Rule.to_string f.rule));
+                   ("message", Metrics.Json.String f.message);
+                 ])
+             findings) );
+      ( "errors",
+        Metrics.Json.List (List.map (fun e -> Metrics.Json.String e) errors) );
+    ]
+
+let print_json oc ?errors findings =
+  output_string oc (Metrics.Json.to_string (to_json ?errors findings));
+  output_char oc '\n'

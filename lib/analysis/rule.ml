@@ -1,6 +1,6 @@
-type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
 
-let all = [ L1; L2; L3; L4; L5; L6; L7; L8; L9 ]
+let all = [ L1; L2; L3; L4; L5; L6; L7; L8; L9; L10; L11; L12 ]
 
 let to_string = function
   | L1 -> "L1"
@@ -12,6 +12,9 @@ let to_string = function
   | L7 -> "L7"
   | L8 -> "L8"
   | L9 -> "L9"
+  | L10 -> "L10"
+  | L11 -> "L11"
+  | L12 -> "L12"
 
 let of_string = function
   | "L1" -> Some L1
@@ -23,7 +26,13 @@ let of_string = function
   | "L7" -> Some L7
   | "L8" -> Some L8
   | "L9" -> Some L9
+  | "L10" -> Some L10
+  | "L11" -> Some L11
+  | "L12" -> Some L12
   | _ -> None
+
+(* The semantic (AST/call-graph) rules, shipped by the --semantic pass. *)
+let semantic = [ L10; L11; L12 ]
 
 let synopsis = function
   | L1 ->
@@ -51,6 +60,19 @@ let synopsis = function
     "raw socket I/O outside the wire layer (Unix.socket, connect, accept, \
      read, write, ...): all inter-process bytes go through Wire.Link so \
      framing, checksums and byte accounting cannot be bypassed"
+  | L10 ->
+    "[semantic] impure primitive (Random.*, Unix.time/gettimeofday, \
+     Sys.time, Domain.*, raw sockets) reachable through the call graph \
+     from a charged-layer function; the finding prints the offending call \
+     chain hop by hop"
+  | L11 ->
+    "[semantic] top-level mutable state (ref cells, global Hashtbl/Array \
+     values, mutable record fields) written from the domain-fanned region \
+     without Atomic/Mutex discipline: a data race across Pool workers"
+  | L12 ->
+    "[semantic] allocation inside a (* cc_lint: hot ... *) function, \
+     AST-accurate: unlike L8's lexical tracker it sees nested let \
+     bindings, so hot closures defined inside factories are covered"
 
 let allow_marker = "cc_lint: allow"
 

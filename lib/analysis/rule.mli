@@ -3,13 +3,21 @@
     Every reproduced claim (Theorems 1.1-1.4, Theorem 3.3) is deterministic
     and priced in congested-clique rounds with O(log n)-bit messages; each
     rule names one way a source file can silently step outside that model.
-    Rules are identified as [L1]..[L9] and can be suppressed per line with a
-    [(* cc_lint: allow L2 *)] comment (ids match case-insensitively). *)
+    Rules are identified as [L1]..[Ln] (the catalog range is whatever
+    {!all} holds — never hardcode it) and can be suppressed per line with a
+    [(* cc_lint: allow L2 *)] comment (ids match case-insensitively).
+    [L1]-[L9] are lexical (per-line, {!Scan}); the {!semantic} subset is
+    computed from the compiler parse tree and call graph ({!Semantic}). *)
 
-type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
 
 val all : id list
 (** In ascending order. *)
+
+val semantic : id list
+(** The rules emitted by the AST/call-graph pass ([cc_lint --semantic]):
+    [L10] (transitive model purity), [L11] (domain-race detector), [L12]
+    (AST-accurate hot-path allocation, superseding [L8]). *)
 
 val to_string : id -> string
 
@@ -30,7 +38,10 @@ val hot_marker : string
 (** The literal hot-path marker, ["cc_lint: hot"]. A comment
     [(* cc_lint: hot deliver *)] anywhere in a file declares the named
     top-level functions hot: rule [L8] then flags per-call allocation
-    ([Hashtbl.create], [Array.make], [Bytes.create]) inside them. *)
+    ([Hashtbl.create], [Array.make], [Bytes.create]) inside them, and the
+    semantic rule [L12] does the same from the parse tree — also catching
+    hot functions bound by nested [let]s, which the lexical tracker cannot
+    see. *)
 
 val hot_names : string -> string list
 (** [hot_names raw_line] is the list of function names the line's hot

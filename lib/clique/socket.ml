@@ -548,9 +548,14 @@ let rounds t = t.rounds
 
 let words_sent t = t.words_sent
 
+(* Coordinator-side session registry. Sessions are created, closed and
+   reaped on the coordinator's main domain only — the domain pool fans
+   node-step closures, never session lifecycle — so the plain ref is
+   race-free by construction (cc_lint L11 markers below record that
+   invariant at each write). *)
 let live : t list ref = ref []
 
-let sigpipe_ignored = ref false
+let sigpipe_ignored = Atomic.make false
 
 let reap_all t =
   Array.iter Link.close t.links;
@@ -565,10 +570,10 @@ let close t =
   | Closed -> ()
   | Down _ ->
     t.state <- Closed;
-    live := List.filter (fun s -> s != t) !live
+    live := List.filter (fun s -> s != t) !live (* cc_lint: allow L11 — main-domain-only session registry *)
   | Live ->
     t.state <- Closed;
-    live := List.filter (fun s -> s != t) !live;
+    live := List.filter (fun s -> s != t) !live; (* cc_lint: allow L11 — main-domain-only session registry *)
     Array.iter
       (fun l ->
         try
@@ -585,7 +590,7 @@ let close t =
 
 let shutdown_all () = List.iter close !live
 
-let exit_hook_registered = ref false
+let exit_hook_registered = Atomic.make false
 
 (* A worker went away: kill and reap the whole family, then surface the
    structured error — callers never hang on a dead shard. *)
@@ -632,15 +637,13 @@ let create ?shards:requested ?addr n =
     min r n
   in
   if k > 62 then invalid_arg "Socket.create: at most 62 shards";
-  if not !sigpipe_ignored then begin
-    sigpipe_ignored := true;
-    if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-  end;
+  if not (Atomic.exchange sigpipe_ignored true) then
+    if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let addr = match addr with Some a -> Some a | None -> Sys.getenv_opt env_addr in
   let lfd, addr_str, lpath =
     match addr with
     | None ->
-      incr session_counter;
+      incr session_counter; (* cc_lint: allow L11 — sessions are created on the main domain only *)
       let path =
         Filename.concat
           (Filename.get_temp_dir_name ())
@@ -783,11 +786,8 @@ let create ?shards:requested ?addr n =
       state = Live;
     }
   in
-  live := t :: !live;
-  if not !exit_hook_registered then begin
-    exit_hook_registered := true;
-    at_exit shutdown_all
-  end;
+  live := t :: !live; (* cc_lint: allow L11 — main-domain-only session registry *)
+  if not (Atomic.exchange exit_hook_registered true) then at_exit shutdown_all;
   t
 
 (* ------------------------------------------------------- transport ops *)

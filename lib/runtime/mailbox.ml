@@ -13,7 +13,10 @@ exception
    phase-oblivious. *)
 let context = ref "main"
 
-let set_context phase = context := phase
+(* Written by the runtime wrapper on the coordinating domain around each
+   transport call; the pool-fanned step closures only build outboxes and
+   never touch the context. *)
+let set_context phase = context := phase (* cc_lint: allow L11 — coordinator-domain-only phase context *)
 
 let current_context () = !context
 

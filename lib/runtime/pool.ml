@@ -8,7 +8,9 @@ let env_var = "CC_DOMAINS"
 
 let forced : int option ref = ref None
 
-let set_default d = forced := d
+(* Set during process bootstrap (shard workers pin their domain count
+   before the first pool exists), never while workers run. *)
+let set_default d = forced := d (* cc_lint: allow L11 — bootstrap-only, precedes any domain *)
 
 let default_domains () =
   match !forced with
@@ -72,9 +74,13 @@ let worker shared ~size w () =
     end
   done
 
+(* Pool registry: only the main domain creates, looks up, or resets pools
+   ([get] is called from runtime construction, never from a worker), so
+   the plain Hashtbl is race-free; the L11 markers record that invariant
+   at each write site. *)
 let pools : (int, t) Hashtbl.t = Hashtbl.create 4
 
-let exit_hook_registered = ref false
+let exit_hook_registered = Atomic.make false
 
 let sequential = { size = 1; shared = None; domains = [||] }
 
@@ -96,7 +102,7 @@ let shutdown_all () =
    the calling thread), so the inherited pool records are dead weight that
    must never be joined or signaled. Dropping them lets the child spawn
    fresh pools lazily. *)
-let reset_after_fork () = Hashtbl.reset pools
+let reset_after_fork () = Hashtbl.reset pools (* cc_lint: allow L11 — child is single-threaded at this point *)
 
 let spawn k =
   let shared =
@@ -114,10 +120,7 @@ let spawn k =
   let domains =
     Array.init (k - 1) (fun w -> Domain.spawn (worker shared ~size:k (w + 1)))
   in
-  if not !exit_hook_registered then begin
-    exit_hook_registered := true;
-    at_exit shutdown_all
-  end;
+  if not (Atomic.exchange exit_hook_registered true) then at_exit shutdown_all;
   { size = k; shared = Some shared; domains }
 
 let get k =
@@ -127,7 +130,7 @@ let get k =
     | Some p -> p
     | None ->
       let p = spawn k in
-      Hashtbl.replace pools k p;
+      Hashtbl.replace pools k p; (* cc_lint: allow L11 — pools are created on the main domain only *)
       p
 
 (* Publish a job generation and run chunk 0 on the caller; entered with

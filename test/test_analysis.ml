@@ -279,13 +279,24 @@ let test_report_format () =
     = "lib/flow/x.ml:1 L2 ")
 
 let test_rule_catalog () =
-  Alcotest.(check int) "nine rules" 9 (List.length Rule.all);
+  Alcotest.(check int) "twelve rules" 12 (List.length Rule.all);
   List.iter
     (fun id ->
       Alcotest.(check (option rule_t))
         "to_string/of_string roundtrip" (Some id)
         (Rule.of_string (Rule.to_string id)))
-    Rule.all
+    Rule.all;
+  (* The catalog range is derived from Rule.all (no stale "L1-L6" strings
+     anywhere): both the --rules table and the JSON header grow with the
+     variant automatically. *)
+  Alcotest.(check string) "range derived from Rule.all" "L1-L12"
+    (Analysis.Report.rules_range ());
+  Alcotest.(check int) "one table line per rule" (List.length Rule.all)
+    (List.length
+       (String.split_on_char '\n' (Analysis.Report.rules_table ())));
+  Alcotest.(check (list rule_t)) "semantic subset"
+    [ Rule.L10; Rule.L11; Rule.L12 ]
+    Rule.semantic
 
 let test_every_rule_detected_once () =
   (* One source tripping L1..L5 on five known lines, as the acceptance
@@ -305,7 +316,7 @@ let test_every_rule_detected_once () =
     [ (Rule.L1, 1); (Rule.L2, 2); (Rule.L3, 3); (Rule.L4, 4); (Rule.L5, 5) ]
     findings
 
-let suite =
+let lexical_suite =
   [
     Alcotest.test_case "L1: entropy in charged layer" `Quick test_l1_entropy;
     Alcotest.test_case "L1: scoping" `Quick test_l1_scoped_to_charged_layers;
@@ -339,3 +350,298 @@ let suite =
     Alcotest.test_case "planted L1-L5 all detected" `Quick
       test_every_rule_detected_once;
   ]
+
+(* ===================================================== semantic pass == *)
+
+module Semantic = Analysis.Semantic
+module Report = Analysis.Report
+module Json = Metrics.Json
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let sem_findings sources = (Semantic.analyze sources).Semantic.findings
+
+(* -------------------------------------------------- L10: transitive purity *)
+
+(* A charged sparsifier reaching [Random.int] through two helper hops in
+   lib/core — the exact shape the lexical pass is blind to, since no
+   charged-layer *line* mentions an entropy token. *)
+let entropy_src = "let draw n = Random.int n\n"
+let helper_src = "let scale x = x * 2\nlet pick n = Entropy.draw (scale n)\n"
+let algo_src = "let choose n = Helper.pick n\nlet pure n = n + 1\n"
+
+let l10_corpus =
+  [
+    ("lib/core/entropy.ml", entropy_src);
+    ("lib/core/helper.ml", helper_src);
+    ("lib/sparsify/algo.ml", algo_src);
+  ]
+
+let test_l10_multihop_chain () =
+  (* Pinned blind spot #1: the lexical pass sees nothing in any of the
+     three files (lib/core is not a charged layer, and the charged file
+     never utters "Random"). *)
+  List.iter
+    (fun (file, src) ->
+      check_findings ("lexical pass is blind: " ^ file) []
+        (Lint.scan_source ~file src))
+    l10_corpus;
+  (* ... and the semantic pass pins it with a hop-by-hop witness chain
+     that names every intermediate function. *)
+  let findings = sem_findings l10_corpus in
+  check_findings "one L10 finding at the charged call site"
+    [ (Rule.L10, 1) ] findings;
+  let f = List.hd findings in
+  Alcotest.(check string) "anchored in the charged file" "lib/sparsify/algo.ml"
+    f.Lint.file;
+  Alcotest.(check bool) "chain names every hop" true
+    (contains f.Lint.message
+       "Algo.choose -> Helper.pick -> Entropy.draw -> Random.int")
+
+let test_l10_stops_at_privileged_layers () =
+  (* Charged code calling the metered runtime (which spawns domains
+     internally) is the sanctioned path: traversal must not descend into
+     lib/runtime and surface its Domain use against the caller. *)
+  check_findings "runtime internals are not charged to callers" []
+    (sem_findings
+       [
+         ("lib/runtime/fake_rt.ml", "let step f = ignore (Domain.spawn f)\n");
+         ("lib/flow/fake_push.ml", "let run f = Fake_rt.step f\n");
+       ])
+
+let test_l10_direct_hit_and_suppression () =
+  let findings =
+    sem_findings
+      [ ("lib/euler/fake_tour.ml", "let now () = Unix.gettimeofday ()\n") ]
+  in
+  check_findings "direct impurity is a one-hop chain"
+    [ (Rule.L10, 1) ] findings;
+  Alcotest.(check bool) "single-hop chain format" true
+    (contains (List.hd findings).Lint.message
+       "Fake_tour.now -> Unix.gettimeofday");
+  check_findings "allow marker silences L10" []
+    (sem_findings
+       [
+         ( "lib/euler/fake_tour.ml",
+           "let now () = Unix.gettimeofday () (* cc_lint: allow L10 *)\n" );
+       ])
+
+let test_l10_module_alias () =
+  (* [module E = Entropy] must expand before suffix matching, or the
+     reference dangles as an unknown external and the chain is lost. *)
+  let findings =
+    sem_findings
+      [
+        ("lib/core/entropy.ml", entropy_src);
+        ( "lib/laplacian/fake_solver.ml",
+          "module E = Entropy\nlet solve n = E.draw n\n" );
+      ]
+  in
+  check_findings "alias-qualified call resolves" [ (Rule.L10, 2) ] findings;
+  Alcotest.(check bool) "chain crosses the alias" true
+    (contains (List.hd findings).Lint.message
+       "Fake_solver.solve -> Entropy.draw -> Random.int")
+
+(* -------------------------------------------------- L11: domain races *)
+
+let sched_src =
+  "let counter = ref 0\n\
+   let step lo hi = incr counter; ignore (lo + hi)\n\
+   let fan pool n = Pool.run pool ~n (fun lo hi -> step lo hi)\n"
+
+let test_l11_planted_race () =
+  let findings = sem_findings [ ("lib/runtime/fake_sched.ml", sched_src) ] in
+  check_findings "global write from the fanned region"
+    [ (Rule.L11, 2) ] findings;
+  let msg = (List.hd findings).Lint.message in
+  Alcotest.(check bool) "names the global and the writer" true
+    (contains msg "Fake_sched.counter" && contains msg "Fake_sched.step")
+
+let test_l11_exemptions () =
+  check_findings "Atomic state is the sanctioned fix" []
+    (sem_findings
+       [
+         ( "lib/runtime/fake_sched.ml",
+           "let counter = Atomic.make 0\n\
+            let step lo hi = Atomic.incr counter; ignore (lo + hi)\n\
+            let fan pool n = Pool.run pool ~n (fun lo hi -> step lo hi)\n" );
+       ]);
+  check_findings "Mutex discipline exempts the writer" []
+    (sem_findings
+       [
+         ( "lib/runtime/fake_sched.ml",
+           "let counter = ref 0\n\
+            let m = Mutex.create ()\n\
+            let step lo hi =\n\
+           \  Mutex.lock m; incr counter; Mutex.unlock m; ignore (lo + hi)\n\
+            let fan pool n = Pool.run pool ~n (fun lo hi -> step lo hi)\n" );
+       ]);
+  check_findings "allow marker silences L11" []
+    (sem_findings
+       [
+         ( "lib/runtime/fake_sched.ml",
+           "let counter = ref 0\n\
+            let step lo hi = incr counter; ignore (lo + hi) (* cc_lint: \
+            allow L11 — planted *)\n\
+            let fan pool n = Pool.run pool ~n (fun lo hi -> step lo hi)\n" );
+       ]);
+  check_findings "scoped to lib/: harness globals are out of model" []
+    (sem_findings [ ("bench/fake_sched.ml", sched_src) ]);
+  check_findings "no domain fan-out, no region, no finding" []
+    (sem_findings
+       [
+         ( "lib/runtime/fake_acc.ml",
+           "let counter = ref 0\nlet bump () = incr counter\n" );
+       ])
+
+(* ------------------------------------- L12: AST-accurate hot-path allocs *)
+
+let factory_src =
+  "(* cc_lint: hot deliver *)\n\
+   let make_deliver n =\n\
+  \  let deliver v =\n\
+  \    let buf = Array.make n v in\n\
+  \    buf\n\
+  \  in\n\
+  \  deliver\n"
+
+let test_l12_nested_let_blind_spot () =
+  (* Pinned blind spot #2: the lexical tracker only follows column-0
+     bindings, so a hot function bound by a nested [let] under a cold
+     factory hides its allocation from L8. *)
+  check_findings "lexical pass is blind to the nested binding" []
+    (Lint.scan_source ~file:"lib/runtime/fake_factory.ml" factory_src);
+  let findings =
+    sem_findings [ ("lib/runtime/fake_factory.ml", factory_src) ]
+  in
+  check_findings "L12 sees the nested hot binding" [ (Rule.L12, 4) ] findings;
+  let msg = (List.hd findings).Lint.message in
+  Alcotest.(check bool) "names the primitive and the hot function" true
+    (contains msg "Array.make" && contains msg "deliver")
+
+let test_l12_matches_l8_on_flat_code () =
+  (* The differential between the passes is itself a test: on column-0
+     code the AST rule must agree line-for-line with the lexical one. *)
+  let src_lines =
+    [
+      "(* cc_lint: hot deliver scatter *)";
+      "let create n = Array.make n 0";
+      "let deliver t =";
+      "  let tbl = Hashtbl.create 16 in";
+      "  ignore tbl;";
+      "  Array.make 4 0";
+      "let cold () = Bytes.create 8";
+      "and scatter () = Bytes.create 8";
+    ]
+  in
+  let file = "lib/runtime/fake_kernel.ml" in
+  let src = String.concat "\n" src_lines ^ "\n" in
+  let lexical =
+    List.map
+      (fun (f : Lint.finding) -> f.line)
+      (Lint.scan_source ~file src)
+  in
+  let semantic =
+    List.map (fun (f : Lint.finding) -> f.line) (sem_findings [ (file, src) ])
+  in
+  Alcotest.(check (list int)) "same allocation sites" lexical semantic;
+  check_findings "semantic findings carry L12"
+    [ (Rule.L12, 4); (Rule.L12, 6); (Rule.L12, 8) ]
+    (sem_findings [ (file, src) ])
+
+let test_l12_honors_l8_allow () =
+  let with_marker marker =
+    Printf.sprintf
+      "(* cc_lint: hot deliver *)\nlet deliver t = Array.make t 0 (* cc_lint: \
+       allow %s *)\n"
+      marker
+  in
+  check_findings "legacy allow L8 markers keep working" []
+    (sem_findings [ ("lib/runtime/fake_kernel.ml", with_marker "L8") ]);
+  check_findings "allow L12 works too" []
+    (sem_findings [ ("lib/runtime/fake_kernel.ml", with_marker "L12") ]);
+  check_findings "unrelated allow id keeps the finding"
+    [ (Rule.L12, 2) ]
+    (sem_findings [ ("lib/runtime/fake_kernel.ml", with_marker "L5") ])
+
+(* ------------------------------------------- robustness, JSON, graph *)
+
+let test_parse_errors_are_collected () =
+  let r =
+    Semantic.analyze
+      [
+        ("lib/core/bad.ml", "let = broken (");
+        ("lib/core/bad.mli", "val : int");
+        ("lib/sparsify/good.ml", "let pure x = x + 1\n");
+      ]
+  in
+  Alcotest.(check int) "both bad files reported" 2
+    (List.length r.Semantic.errors);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "error names the file" true
+        (contains e "lib/core/bad."))
+    r.Semantic.errors;
+  check_findings "good files still analyzed, cleanly" [] r.Semantic.findings
+
+let test_json_roundtrip () =
+  let r = Semantic.analyze l10_corpus in
+  let errors = [ "lib/core/bad.ml:1 syntax error" ] in
+  let j = Report.to_json ~errors r.Semantic.findings in
+  let s = Json.to_string j in
+  Alcotest.(check bool) "schema tag embedded" true (contains s Report.schema);
+  Alcotest.(check bool) "rules span embedded" true (contains s "L1-L12");
+  (match Json.of_string s with
+  | Ok j' -> Alcotest.(check bool) "round-trips" true (Json.equal j j')
+  | Error e -> Alcotest.fail ("to_json output failed to parse: " ^ e));
+  (match Json.member "count" j with
+  | Some c ->
+    Alcotest.(check (option int)) "count field matches findings"
+      (Some (List.length r.Semantic.findings))
+      (Json.to_int_opt c)
+  | None -> Alcotest.fail "count field missing")
+
+let test_graph_dot () =
+  let r = Semantic.analyze l10_corpus in
+  let dot = Analysis.Callgraph.to_dot r.Semantic.graph in
+  Alcotest.(check bool) "digraph preamble" true (contains dot "digraph");
+  Alcotest.(check bool) "nodes present" true
+    (contains dot "Algo.choose" && contains dot "Helper.pick");
+  Alcotest.(check bool) "edges present" true (contains dot "->")
+
+let semantic_suite =
+  [
+    Alcotest.test_case "L10: multi-hop chain vs lexical blind spot" `Quick
+      test_l10_multihop_chain;
+    Alcotest.test_case "L10: privileged layers stop traversal" `Quick
+      test_l10_stops_at_privileged_layers;
+    Alcotest.test_case "L10: direct hit and suppression" `Quick
+      test_l10_direct_hit_and_suppression;
+    Alcotest.test_case "L10: module alias resolution" `Quick
+      test_l10_module_alias;
+    Alcotest.test_case "L11: planted race" `Quick test_l11_planted_race;
+    Alcotest.test_case "L11: exemptions and scoping" `Quick
+      test_l11_exemptions;
+    Alcotest.test_case "L12: nested-let blind spot" `Quick
+      test_l12_nested_let_blind_spot;
+    Alcotest.test_case "L12: agrees with L8 on flat code" `Quick
+      test_l12_matches_l8_on_flat_code;
+    Alcotest.test_case "L12: honors legacy allow L8" `Quick
+      test_l12_honors_l8_allow;
+    Alcotest.test_case "parse errors are collected, not fatal" `Quick
+      test_parse_errors_are_collected;
+    Alcotest.test_case "JSON round-trips through Metrics.Json" `Quick
+      test_json_roundtrip;
+    Alcotest.test_case "call-graph DOT dump" `Quick test_graph_dot;
+  ]
+
+let () =
+  Alcotest.run "analysis"
+    [ ("lexical", lexical_suite); ("semantic", semantic_suite) ]

@@ -8,7 +8,10 @@ let () =
       ("wire", Test_wire.suite);
       ("sanitize", Test_sanitize.suite);
       ("determinism", Test_determinism.suite);
-      ("analysis", Test_analysis.suite);
+      (* The analysis suite runs as its own executable (test_analysis.exe):
+         linking compiler-libs.common here would shadow the unwrapped
+         Coloring/Matching modules of lib/graph with the compiler's own
+         register-allocator units of the same names. *)
       ("metrics", Test_metrics.suite);
       ("expander", Test_expander.suite);
       ("sparsify", Test_sparsify.suite);
