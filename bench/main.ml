@@ -907,6 +907,181 @@ let e10_sharded () =
     reg
     [ { s_name = "shards-sweep"; s_seed = 0L; s_rows = rows } ]
 
+(* ------------------------------------------------------------------ E11 *)
+
+(* Unicast vs Broadcast Congested Clique (Forster-de Vos, arXiv:2205.12059).
+   Every pipeline runs under both accounting models with an explicit
+   [~model] argument — the experiment is deliberately CC_MODEL-independent —
+   and the outputs are asserted bit-identical: the model changes what a
+   round may carry, not what the algorithm computes. Receive-bound phases
+   (gather, matvec) cost the same in both models; the send-bound
+   expander-decomposition core is recharged to the FV22 polylog stand-in,
+   which is *more* expensive at bench sizes (the crossover is asymptotic —
+   DESIGN.md section 13 carries the honest story). A third series drives the
+   node programs on the live Broadcast transport and asserts
+   round-for-round parity with the unicast sim. *)
+
+let e11_sizes =
+  sizes
+    ~full:[ (40, 1); (60, 1); (80, 1); (60, 16) ]
+    ~reduced:[ (40, 1); (60, 16) ]
+
+let e11_program_sizes = sizes ~full:[ 24; 40 ] ~reduced:[ 24 ]
+
+let e11_models () =
+  header
+    "E11 | broadcast congested clique - unicast vs broadcast round \
+     accounting, outputs bit-identical (arXiv:2205.12059)";
+  let reg = Metrics.create () in
+  Printf.printf "sparsify (identical sparsifier asserted per size):\n";
+  Printf.printf "%6s %4s %10s %8s %8s %9s %8s\n" "n" "u" "model" "rounds"
+    "ref" "decompose" "gather";
+  let sparsify_rows =
+    List.concat_map
+      (fun (n, u) ->
+        let g =
+          if u = 1 then Gen.connected_gnp ~seed:3L n 0.5
+          else Gen.weighted_gnp ~seed:3L n 0.5 u
+        in
+        let ru = Sparsify.Spectral.sparsify ~model:Runtime.Model.Unicast g in
+        let rb = Sparsify.Spectral.sparsify ~model:Runtime.Model.Broadcast g in
+        assert (
+          Graph.edges ru.Sparsify.Spectral.sparsifier
+          = Graph.edges rb.Sparsify.Spectral.sparsifier);
+        assert (
+          ru.Sparsify.Spectral.levels = rb.Sparsify.Spectral.levels
+          && ru.Sparsify.Spectral.classes = rb.Sparsify.Spectral.classes);
+        let mk model (r : Sparsify.Spectral.result) ref_rounds =
+          let phase p =
+            Option.value (List.assoc_opt p r.phase_rounds) ~default:0
+          in
+          Printf.printf "%6d %4d %10s %8d %8d %9d %8d\n" n u model r.rounds
+            ref_rounds (phase "decompose") (phase "gather");
+          row reg
+            ~key:(Printf.sprintf "%s n=%d u=%d" model n u)
+            ~params:
+              [ ("model", J.String model); ("n", J.Int n); ("u", J.Int u) ]
+            ~ref_rounds
+            ~stats:
+              [
+                ("sparsifier_edges", J.Int (Graph.m r.sparsifier));
+                ("levels", J.Int r.levels);
+                ("classes", J.Int r.classes);
+              ]
+            ~rounds:r.rounds ~phases:r.phase_rounds ()
+        in
+        (* Bind one at a time: list literals evaluate right-to-left, which
+           would print the broadcast row first. *)
+        let row_u =
+          mk "unicast" ru
+            (Sparsify.Spectral.rounds_bound ~n ~u:(float_of_int u)
+               ~gamma:0.25)
+        in
+        let row_b =
+          mk "broadcast" rb
+            (Sparsify.Spectral.bcast_rounds_bound ~n ~u:(float_of_int u))
+        in
+        [ row_u; row_b ])
+      e11_sizes
+  in
+  Printf.printf
+    "\nsolve at n=60 (identical solution and iterations asserted):\n";
+  Printf.printf "%10s %6s %8s %14s\n" "model" "iters" "rounds"
+    "sparsify-phase";
+  let solve_rows =
+    let n = 60 in
+    let g = Gen.weighted_gnp ~seed:5L n 0.3 8 in
+    let b =
+      Linalg.Vec.sub (Linalg.Vec.basis n 0) (Linalg.Vec.basis n (n - 1))
+    in
+    let su = Laplacian.Solver.solve ~eps:1e-6 ~model:Runtime.Model.Unicast g b in
+    let sb =
+      Laplacian.Solver.solve ~eps:1e-6 ~model:Runtime.Model.Broadcast g b
+    in
+    assert (su.Laplacian.Solver.x = sb.Laplacian.Solver.x);
+    assert (su.Laplacian.Solver.iterations = sb.Laplacian.Solver.iterations);
+    let mk model (r : Laplacian.Solver.report) =
+      let phase p = Option.value (List.assoc_opt p r.phase_rounds) ~default:0 in
+      Printf.printf "%10s %6d %8d %14d\n" model r.iterations r.rounds
+        (phase "sparsify");
+      row reg
+        ~key:(Printf.sprintf "%s n=%d" model n)
+        ~params:
+          [ ("model", J.String model); ("n", J.Int n); ("eps", J.Float 1e-6) ]
+        ~stats:
+          [
+            ("iterations", J.Int r.iterations);
+            ("sparsifier_edges", J.Int r.sparsifier_edges);
+          ]
+        ~rounds:r.rounds ~phases:r.phase_rounds ()
+    in
+    let row_u = mk "unicast" su in
+    let row_b = mk "broadcast" sb in
+    [ row_u; row_b ]
+  in
+  Printf.printf
+    "\nnode programs on the live transports (round-for-round parity):\n";
+  Printf.printf "%6s %14s %8s %12s %12s\n" "n" "program" "rounds" "uni-words"
+    "bcast-words";
+  let program_rows =
+    List.concat_map
+      (fun n ->
+        let g = Gen.connected_gnp ~seed:11L n 0.3 in
+        (* Explicit arena kernel so the row is CC_KERNEL/CC_SHARDS-proof;
+           E9/E10 already pin all delivery engines bit-identical. *)
+        let measure name fu fb =
+          let urt =
+            Clique.Kernel.On_sim.create
+              (Clique.Sim.create ~kernel:Clique.Sim.Arena n)
+          in
+          let brt = Clique.Kernel.bcast n in
+          let ru = fu urt and rb = fb brt in
+          assert (ru = rb);
+          let rounds = Clique.Kernel.On_sim.rounds urt in
+          assert (rounds = Clique.Kernel.On_bcast.rounds brt);
+          let uw = Clique.Kernel.On_sim.words urt in
+          let bw = Clique.Kernel.On_bcast.words brt in
+          Printf.printf "%6d %14s %8d %12d %12d\n" n name rounds uw bw;
+          row reg
+            ~key:(Printf.sprintf "%s n=%d" name n)
+            ~params:[ ("program", J.String name); ("n", J.Int n) ]
+            ~stats:
+              [
+                ("unicast_words", J.Int uw); ("broadcast_words", J.Int bw);
+              ]
+            ~rounds ~phases:[] ()
+        in
+        let row_bfs =
+          measure "bfs"
+            (fun rt -> Clique.Kernel.Sim_programs.bfs rt g 0)
+            (fun rt -> Clique.Kernel.Bcast_programs.bfs rt g 0)
+        in
+        let row_bf =
+          measure "bellman-ford"
+            (fun rt -> Clique.Kernel.Sim_programs.bellman_ford rt g 0)
+            (fun rt -> Clique.Kernel.Bcast_programs.bellman_ford rt g 0)
+        in
+        [ row_bfs; row_bf ])
+      e11_program_sizes
+  in
+  experiment ~id:"E11"
+    ~title:
+      "broadcast congested clique - unicast vs broadcast round accounting \
+       (identical outputs)"
+    ~note:
+      "rows assert outputs bit-identical across models (sparsifier edges, \
+       solver solution and iterations, program answers and round totals); \
+       only the charged decompose/gather accounting differs. The broadcast \
+       decomposition recharge (FV22 polylog stand-in) is costlier at these \
+       sizes - the crossover is asymptotic; see DESIGN.md section 13 and \
+       EXPERIMENTS.md E11"
+    reg
+    [
+      { s_name = "sparsify"; s_seed = 3L; s_rows = sparsify_rows };
+      { s_name = "solve"; s_seed = 5L; s_rows = solve_rows };
+      { s_name = "programs"; s_seed = 11L; s_rows = program_rows };
+    ]
+
 (* -------------------------------------------------- Bechamel wall-clock *)
 
 let wall_clock () =
@@ -997,9 +1172,23 @@ let wall_clock () =
           e10_shard_counts)
       e10_sizes
   in
+  let e11 =
+    (* Broadcast delivery on the same all-to-all workload as E9: each
+       source's outbox is one payload fanned to everyone, i.e. already
+       broadcast-legal, so "e11-bcast-n<k>" is directly comparable to
+       "e9-arena-n<k>" (same logical round, different delivery kernel). *)
+    List.map
+      (fun n ->
+        let outboxes = e9_outboxes n in
+        let t = Clique.Broadcast.create n in
+        Test.make ~name:(Printf.sprintf "e11-bcast-n%d" n)
+          (Staged.stage (fun () ->
+               ignore (Clique.Broadcast.exchange t outboxes))))
+      e9_sizes
+  in
   let tests =
     Test.make_grouped ~name:"repro"
-      ([ e1; e2; e3; e4; e5; e6; e7; e8 ] @ e9 @ e10)
+      ([ e1; e2; e3; e4; e5; e6; e7; e8 ] @ e9 @ e10 @ e11)
   in
   let quota = if reduced then 0.05 else 1.0 in
   let cfg =
@@ -1049,7 +1238,8 @@ let () =
   let x8 = e8_ablations () in
   let x9 = e9_kernel () in
   let x10 = e10_sharded () in
-  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8; x9; x10 ] in
+  let x11 = e11_models () in
+  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8; x9; x10; x11 ] in
   let wall = wall_clock () in
   (* E9 headline: arena-vs-legacy speedup at the largest size measured. *)
   let biggest = List.fold_left max 0 e9_sizes in

@@ -26,6 +26,7 @@ type node = {
 }
 
 type t
+(** The resolved call graph: definitions, edges, unresolved references. *)
 
 val build : Ast.impl list -> t
 (** Construct the graph over the given implementations. *)

@@ -12,6 +12,7 @@
     compiler. *)
 
 type finding = { file : string; line : int; rule : Rule.id; message : string }
+(** One lint hit, pointing at the offending source line. *)
 
 val compare_findings : finding -> finding -> int
 (** Orders by file, then line, then rule id. *)

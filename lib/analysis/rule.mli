@@ -10,6 +10,7 @@
     computed from the compiler parse tree and call graph ({!Semantic}). *)
 
 type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
+(** The rule catalog; see {!synopsis} for what each enforces. *)
 
 val all : id list
 (** In ascending order. *)
@@ -20,8 +21,10 @@ val semantic : id list
     (AST-accurate hot-path allocation, superseding [L8]). *)
 
 val to_string : id -> string
+(** ["L1"] .. ["L12"] — the id as it appears in findings and markers. *)
 
 val of_string : string -> id option
+(** Inverse of {!to_string}, case-insensitive; [None] on unknown ids. *)
 
 val synopsis : id -> string
 (** One-line description, used by [cc_lint --rules] and in messages. *)

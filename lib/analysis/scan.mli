@@ -9,6 +9,8 @@
     identifiers. *)
 
 val strip : string -> string
+(** Blank out comments and string/char literal contents, preserving
+    layout (byte-for-byte line/column positions). *)
 
 val lines : string -> string list
 (** Split on ['\n'] (no trailing-newline special-casing). *)

@@ -43,6 +43,8 @@ let check t ~src ~dst =
 
 let default_width = 2
 
+let unicast = true
+
 let exchange ?(width = 2) t outboxes =
   let inboxes, words =
     match t.arena with
@@ -89,6 +91,7 @@ module Self = struct
   let name = name
   let n = n
   let default_width = default_width
+  let unicast = unicast
   let rounds = rounds
   let words_sent = words_sent
   let exchange = exchange

@@ -11,8 +11,10 @@
     round); the only difference is the edge check. *)
 
 type t
+(** A CONGEST session: the graph topology plus the shared delivery core. *)
 
 exception Not_an_edge of { src : int; dst : int }
+(** Raised when a message is addressed across a non-edge of the topology. *)
 
 val name : string
 (** ["congest"]. *)
@@ -23,16 +25,22 @@ val create : ?kernel:Sim.kernel -> Graph.t -> t
     engine, exactly as in {!Sim.create}. *)
 
 val graph : t -> Graph.t
+(** The topology the session was created on. *)
 
 val n : t -> int
+(** Number of nodes (the graph's vertex count). *)
 
 val rounds : t -> int
+(** Rounds elapsed so far. *)
 
 val words_sent : t -> int
 (** Total words ever sent (message-complexity measure). *)
 
 val default_width : int
 (** 2 — same per-edge budget as {!Sim.default_width}. *)
+
+val unicast : bool
+(** [true] — per-edge budgets, like the clique kernels. *)
 
 val exchange :
   ?width:int -> t -> (int * int array) list array -> (int * int array) list array

@@ -12,8 +12,10 @@
     single entry point through which all analytic round charges flow. *)
 
 module On_sim : Runtime.S with type transport = Sim.t
+(** The congested-clique runtime — {!Sim} under the cost ledger. *)
 
 module On_congest : Runtime.S with type transport = Congest.t
+(** The CONGEST-model sibling — {!Congest} under the same ledger. *)
 
 module On_socket : Runtime.S with type transport = Socket.t
 (** The runtime over the raw multi-process socket transport ({!Socket}) —
@@ -21,11 +23,23 @@ module On_socket : Runtime.S with type transport = Socket.t
     handle. Ordinary shard runs go through {!On_sim} with the [Shard]
     kernel instead. *)
 
+module On_bcast : Runtime.S with type transport = Broadcast.t
+(** The runtime over the Broadcast Congested Clique kernel
+    ({!Broadcast}): one payload per source per round, heard by everyone.
+    Its sanitizer enforces the broadcast width rule (DESIGN.md §13). *)
+
 module Sim_programs : Programs.S with type runtime = On_sim.t
+(** The generic node programs ({!Programs}) on the clique runtime. *)
 
 module Congest_programs : Programs.S with type runtime = On_congest.t
+(** The generic node programs on the CONGEST runtime. *)
 
 module Socket_programs : Programs.S with type runtime = On_socket.t
+(** The generic node programs on the raw socket-session runtime. *)
+
+module Bcast_programs : Programs.S with type runtime = On_bcast.t
+(** The generic node programs on the broadcast kernel — same results as
+    on every unicast kernel (the receivers filter the wider inboxes). *)
 
 type t = On_sim.t
 (** The clique runtime — the type every charged layer carries. *)
@@ -36,21 +50,32 @@ val clique : ?phase:string -> int -> t
 val congest : ?phase:string -> Graph.t -> On_congest.t
 (** [congest g] is a fresh runtime over a fresh CONGEST kernel on [g]. *)
 
+val bcast : ?phase:string -> int -> On_bcast.t
+(** [bcast n] is a fresh runtime over a fresh [n]-node broadcast clique. *)
+
 (** Convenience delegates to {!On_sim} (so call sites read
     [Kernel.charge rt ~phase:"ipm" r]): *)
 
 val charge : ?phase:string -> t -> int -> unit
+(** {!Runtime.S.charge}: add analytic rounds under a ledger phase. *)
 
 val rounds : t -> int
+(** {!Runtime.S.rounds}: total rounds, measured plus charged. *)
 
 val words : t -> int
+(** {!Runtime.S.words}: total words sent on the transport. *)
 
 val phases : t -> (string * int) list
+(** {!Runtime.S.phases}: the per-phase round breakdown, sorted. *)
 
 val phase_rounds : t -> string -> int
+(** {!Runtime.S.phase_rounds}: rounds charged under one phase. *)
 
 val with_phase : t -> string -> (unit -> 'a) -> 'a
+(** {!Runtime.S.with_phase}: run a thunk with the ledger phase set. *)
 
 val on_round : t -> (phase:string -> rounds:int -> words:int -> unit) -> unit
+(** {!Runtime.S.on_round}: observe every round as it is recorded. *)
 
 val report : t -> string
+(** {!Runtime.S.report}: human-readable ledger summary. *)

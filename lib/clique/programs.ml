@@ -19,9 +19,9 @@ let edge_key g id =
   let e = Graph.edge g id in
   (e.Graph.w, id)
 
-(* Deduplicated neighbour lists (parallel edges carry one message, like the
+(* Deduplicated adjacency sets (parallel edges carry one message, like the
    CONGEST kernel's adjacency sets). *)
-let neighbor_lists g =
+let neighbor_sets g =
   let n = Graph.n g in
   let sets = Array.init n (fun _ -> Hashtbl.create 4) in
   Array.iter
@@ -29,7 +29,12 @@ let neighbor_lists g =
       Hashtbl.replace sets.(e.Graph.u) e.Graph.v ();
       Hashtbl.replace sets.(e.Graph.v) e.Graph.u ())
     (Graph.edges g);
-  Array.map (fun s -> Hashtbl.fold (fun u () acc -> u :: acc) s []) sets
+  sets
+
+let neighbor_lists g =
+  Array.map
+    (fun s -> Hashtbl.fold (fun u () acc -> u :: acc) s [])
+    (neighbor_sets g)
 
 module Make (R : Runtime.S) = struct
   type runtime = R.t
@@ -47,7 +52,10 @@ module Make (R : Runtime.S) = struct
     let n = Graph.n g in
     require_n rt n "bfs";
     R.with_phase rt "bfs" @@ fun () ->
-    let neighbors = neighbor_lists g in
+    let sets = neighbor_sets g in
+    let neighbors =
+      Array.map (fun s -> Hashtbl.fold (fun u () acc -> u :: acc) s []) sets
+    in
     let dist = Array.make n (-1) in
     dist.(s) <- 0;
     let in_frontier = Array.make n false in
@@ -66,8 +74,12 @@ module Make (R : Runtime.S) = struct
         (fun v msgs ->
           if dist.(v) < 0 then
             List.iter
-              (fun (_, payload) ->
-                if dist.(v) < 0 then begin
+              (fun (src, payload) ->
+                (* Accept only neighbours' announcements: a no-op on the
+                   unicast kernels (non-neighbours never address v), the
+                   correctness filter on the broadcast kernel, where v
+                   hears every frontier node. *)
+                if dist.(v) < 0 && Hashtbl.mem sets.(v) src then begin
                   dist.(v) <- payload.(0) + 1;
                   in_frontier.(v) <- true;
                   frontier_nonempty := true

@@ -45,3 +45,5 @@ module type S = sig
 end
 
 module Make (R : Runtime.S) : S with type runtime = R.t
+(** Instantiate the node programs over any runtime — every transport
+    (clique, CONGEST, socket, broadcast) runs the same program text. *)

@@ -56,6 +56,8 @@ let words_sent t =
 
 let default_width = 2
 
+let unicast = true
+
 let deliver t ~width outboxes =
   match t.engine with
   | Local (Some arena) -> Runtime.Arena.deliver arena ~width outboxes

@@ -13,6 +13,7 @@
     round counts *measured* here, not charged. *)
 
 type t
+(** A clique session: delivery state, round counter, word counter. *)
 
 type kernel = Arena | Legacy | Shard
 (** Which delivery engine [exchange] runs on. [Arena] (the default) is the
@@ -68,6 +69,9 @@ val words_sent : t -> int
 
 val default_width : int
 (** 2 — a tag word plus a value word per ordered pair per round. *)
+
+val unicast : bool
+(** [true] — every ordered pair gets its own [width]-word budget. *)
 
 val exchange :
   ?width:int -> t -> (int * int array) list array -> (int * int array) list array

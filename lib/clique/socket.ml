@@ -36,6 +36,8 @@ let name = "clique+shard"
 
 let default_width = 2
 
+let unicast = true
+
 (* ------------------------------------------------------- frame protocol *)
 
 let k_exchange = 1

@@ -20,6 +20,7 @@
     shard and round — never a hang. *)
 
 type t
+(** A live sharded session: coordinator state, links, worker processes. *)
 
 exception
   Bandwidth_exceeded of {
@@ -65,16 +66,24 @@ val pids : t -> int list
     kill one to exercise {!Runtime.Shard.Shard_down}. *)
 
 val n : t -> int
+(** Number of clique nodes in the session. *)
 
 val rounds : t -> int
+(** Rounds elapsed so far (coordinator view). *)
 
 val words_sent : t -> int
+(** Total words ever sent, identical to the in-process kernels. *)
 
 val default_width : int
 (** 2, as on every clique kernel. *)
 
+val unicast : bool
+(** [true] — sharding changes the delivery engine, not the width rule. *)
+
 val exchange :
   ?width:int -> t -> (int * int array) list array -> (int * int array) list array
+(** One synchronous round over the workers; bit-identical inboxes to
+    {!Sim.exchange} (the differential suite's core claim). *)
 
 val route :
   ?width:int -> t -> (int * int * int array) list -> (int * int array) list array
@@ -83,8 +92,10 @@ val route :
     message stream). *)
 
 val broadcast : ?width:int -> t -> int array array -> int array array
+(** One-to-all broadcast, coordinator-side like {!route}. *)
 
 val charge : t -> int -> unit
+(** Advance the round counter analytically (no delivery). *)
 
 val stats : t -> (string * int) list
 (** [wire.frames], [wire.bytes_sent], [wire.bytes_recv] (coordinator

@@ -9,6 +9,17 @@ let rounds_formula ~n ~gamma =
   let nf = float_of_int (max n 2) in
   int_of_float (Float.ceil (nf ** gamma)) + (4 * Runtime.Cost.log2_ceil n)
 
+(* The broadcast-model recharge of the same call. The unicast ⌈n^γ⌉ core
+   is send-bound (per-node distinct traffic through Lenzen routing), which
+   the broadcast clique cannot afford; FV22 (arXiv:2205.12059) replace it
+   with a polylogarithmic-round construction. We charge a quadratic polylog
+   with explicit constants — 4(⌈log₂ n⌉+1)² plus the same O(log n) tail —
+   as the reference stand-in; at bench sizes this is *more* than ⌈n^γ⌉,
+   the asymptotic crossover being the honest story (EXPERIMENTS.md E11). *)
+let bcast_rounds_formula ~n =
+  let logn = Runtime.Cost.log2_ceil (max n 2) in
+  (4 * (logn + 1) * (logn + 1)) + (4 * logn)
+
 (* Exact minimum-conductance cut by enumeration; n ≤ 16. *)
 let best_cut_small g =
   let n = Graph.n g in

@@ -34,3 +34,10 @@ val rounds_formula : n:int -> gamma:float -> int
 (** The charged cost of one decomposition call:
     [⌈n^γ⌉ + O(log n)] (ε is the constant 1/2 here, so the ε^{-O(1)} factor
     is constant and folded in). Exposed for the E1 bench's reference curve. *)
+
+val bcast_rounds_formula : n:int -> int
+(** The Broadcast Congested Clique recharge of one decomposition call:
+    [4(⌈log₂ n⌉+1)² + 4⌈log₂ n⌉], a polylog stand-in with explicit
+    constants for the FV22 construction (arXiv:2205.12059) that replaces
+    the send-bound [⌈n^γ⌉] core. Exposed for the E11 reference curve;
+    see DESIGN.md §13 for why the crossover only appears at large [n]. *)

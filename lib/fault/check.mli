@@ -16,8 +16,10 @@ type verdict =
 val passed : verdict -> bool
 
 val pp : Format.formatter -> verdict -> unit
+(** Pretty-print a verdict (used in logs and error messages). *)
 
 val to_string : verdict -> string
+(** [Format.asprintf "%a" pp]. *)
 
 val bfs_tree : Graph.t -> root:int -> int array -> verdict
 (** Levels from a BFS with [-1] = unreached: root at level 0, edge levels

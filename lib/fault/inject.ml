@@ -34,6 +34,8 @@ module Make (T : Runtime.TRANSPORT) = struct
 
   let default_width = T.default_width
 
+  let unicast = T.unicast
+
   let inject ?(metrics = Metrics.disabled) ~schedule base =
     {
       base;
@@ -163,14 +165,28 @@ module Make (T : Runtime.TRANSPORT) = struct
         Array.mapi
           (fun src msgs ->
             if silent t ~op ~phase ~round src then []
-            else
+            else if T.unicast then
               List.mapi
                 (fun idx (dst, payload) ->
                   match mangle t ~op ~phase ~round ~src ~dst ~idx payload with
                   | Some p -> Some (dst, p)
                   | None -> None)
                 msgs
-              |> List.filter_map Fun.id)
+              |> List.filter_map Fun.id
+            else
+              (* On a broadcast kernel a source's outbox is one message on
+                 the air: draw the fault once per source (dst = -1, like
+                 broadcast) and apply the outcome to every listed entry, so
+                 injection never turns a legal one-payload outbox into a
+                 multi-payload violation. *)
+              match msgs with
+              | [] -> []
+              | (_, payload) :: _ -> (
+                match
+                  mangle t ~op ~phase ~round ~src ~dst:(-1) ~idx:src payload
+                with
+                | Some p -> List.map (fun (dst, _) -> (dst, p)) msgs
+                | None -> []))
           outboxes
       in
       T.exchange ?width t.base faulted

@@ -45,6 +45,7 @@ val create : ?seed:int -> rule list -> t
 val seed : t -> int
 
 val rules : t -> rule list
+(** The parsed rules, in schedule order. *)
 
 val applies : rule -> phase:string -> round:int -> bool
 (** Whether the rule's phase and round-window scope admit this message. *)

@@ -131,11 +131,15 @@ let solve_with_sparsifier ?(eps = 1e-6) ?inner ?rt g sp b =
     residual = st.Linalg.Chebyshev.residual;
   }
 
-let solve ?(eps = 1e-6) ?(phi = 0.05) ?inner ?backend g b =
+let solve ?(eps = 1e-6) ?(phi = 0.05) ?inner ?backend ?model g b =
   if not (Graph.is_connected g) then
     invalid_arg "Solver.solve: graph must be connected (L† needs one component)";
   let g' = preprocess_weights eps g in
-  let sp = Sparsify.Spectral.sparsify ~phi ?backend g' in
+  (* Only the sparsifier phase is model-sensitive: κ-estimation and the
+     Chebyshev loop are matvecs against a globally-known iterate, which
+     is one broadcast round per iteration in either model (DESIGN.md
+     §13). *)
+  let sp = Sparsify.Spectral.sparsify ~phi ?backend ?model g' in
   (* One ledger for the whole pipeline: the sparsifier's charged rounds land
      in the same runtime the solve phases charge into. *)
   let rt = Clique.Kernel.clique (Graph.n g) in

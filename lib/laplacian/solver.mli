@@ -37,14 +37,19 @@ val solve :
   ?phi:float ->
   ?inner:inner_solver ->
   ?backend:Sparsify.Spectral.backend ->
+  ?model:Runtime.Model.t ->
   Graph.t ->
   Linalg.Vec.t ->
   report
 (** [solve g b] approximately solves [L_G x = b] for connected [g] and
     [b ⊥ 1] (it is centered defensively). [eps] (default [1e-6]) is the
     target of Theorem 1.1: [‖x − L†b‖_{L_G} ≤ ε‖L†b‖_{L_G}]. [inner]
-    defaults to [Direct] for [n ≤ 400], [Iterative] above. Raises
-    [Invalid_argument] on a disconnected graph. *)
+    defaults to [Direct] for [n ≤ 400], [Iterative] above. [model]
+    (default {!Runtime.Model.default}) selects unicast vs broadcast
+    round accounting for the sparsifier phase; the matvec-driven phases
+    (κ-estimation, Chebyshev) cost the same in both models, and the
+    solution is bit-identical. Raises [Invalid_argument] on a
+    disconnected graph. *)
 
 val solve_with_sparsifier :
   ?eps:float ->

@@ -48,3 +48,12 @@ let gather_rounds ~n ~m ~bits_per_edge =
   let words = max 1 ((bits_per_edge + word_bits - 1) / word_bits) in
   let per_round = max 1 (n - 1) in
   ((m * words) + per_round - 1) / per_round
+
+let bcast_gather_rounds ~n ~m ~bits_per_edge =
+  (* The broadcast twin: per round the air carries n broadcast words and
+     every node hears all of them, so receive bandwidth — the binding
+     resource of a gather — is the same as unicast up to n/(n-1). The m
+     edges are spread one word per node per round: ⌈m·w/n⌉ rounds. *)
+  let word_bits = max 1 (log2_ceil n) in
+  let words = max 1 ((bits_per_edge + word_bits - 1) / word_bits) in
+  ((m * words) + n - 1) / max 1 n

@@ -62,3 +62,9 @@ val log2_ceil : int -> int
 val gather_rounds : n:int -> m:int -> bits_per_edge:int -> int
 (** Rounds for the trivial algorithm of §1.1: make all [m] edges (each
     [bits_per_edge/⌈log n⌉] words) globally known — [O(n log U)] total. *)
+
+val bcast_gather_rounds : n:int -> m:int -> bits_per_edge:int -> int
+(** The same gather in the Broadcast Congested Clique (arXiv:2205.12059):
+    [⌈m·words/n⌉] rounds, since a gather is receive-bound and per round
+    every node hears all [n] broadcast words — broadcast loses essentially
+    nothing on globally-known steps (DESIGN.md §13). *)

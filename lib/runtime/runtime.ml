@@ -5,6 +5,7 @@ module Sanitize = Sanitize
 module Arena = Arena
 module Pool = Pool
 module Shard = Shard
+module Model = Model
 
 module type TRANSPORT = Transport.S
 
@@ -14,6 +15,8 @@ module type S = sig
   type t
 
   val kernel : string
+
+  val unicast : bool
 
   val create :
     ?phase:string ->
@@ -103,6 +106,8 @@ module Make (T : TRANSPORT) = struct
   }
 
   let kernel = T.name
+
+  let unicast = T.unicast
 
   let create ?(phase = "main") ?(trace_capacity = 256) ?sanitize ?domains tr =
     let sanitize =
@@ -197,7 +202,8 @@ module Make (T : TRANSPORT) = struct
   let exchange ?width t outboxes =
     let w = effective_width width in
     if t.san <> None then
-      Sanitize.check_exchange ~phase:t.phase ~width:w outboxes;
+      if T.unicast then Sanitize.check_exchange ~phase:t.phase ~width:w outboxes
+      else Sanitize.check_exchange_broadcast ~phase:t.phase ~width:w outboxes;
     wrap t ~op:Sanitize.Exchange ~width:w
       ~event:(fun () -> Sanitize.exchange_event outboxes)
       (fun () -> T.exchange ?width t.tr outboxes)

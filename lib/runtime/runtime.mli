@@ -18,6 +18,7 @@ module Sanitize = Sanitize
 module Arena = Arena
 module Pool = Pool
 module Shard = Shard
+module Model = Model
 
 module type TRANSPORT = Transport.S
 
@@ -31,6 +32,12 @@ module type S = sig
 
   val kernel : string
   (** The transport's {!Transport.S.name}. *)
+
+  val unicast : bool
+  (** The transport's {!Transport.S.unicast} flag: whether per-destination
+      distinct payloads are legal in one round. When [false], the
+      sanitizer enforces the broadcast width rule
+      ({!Sanitize.check_exchange_broadcast}) on every exchange. *)
 
   val create :
     ?phase:string ->

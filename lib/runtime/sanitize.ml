@@ -184,6 +184,40 @@ let check_exchange ~phase ~width outboxes =
         msgs)
     outboxes
 
+let check_exchange_broadcast ~phase ~width outboxes =
+  (* Width pass first, mirroring [check_exchange]: an outbox that is both
+     oversized and multi-payload reports the width violation. *)
+  Array.iteri
+    (fun src msgs ->
+      List.iter
+        (fun (_, payload) ->
+          let w = Array.length payload in
+          if w > width then
+            violation ~phase ~kind:"width"
+              "broadcast-model payload of %d words at node %d exceeds width \
+               %d"
+              w src width)
+        msgs)
+    outboxes;
+  (* Broadcast width rule: one distinct payload per source per round. A
+     source may list many destinations (or repeat one), but every listed
+     payload must be the same words — that is the message everyone hears. *)
+  Array.iteri
+    (fun src msgs ->
+      let distinct = ref [] in
+      List.iter
+        (fun (_, payload) ->
+          if not (List.exists (fun p -> p = payload) !distinct) then
+            distinct := payload :: !distinct)
+        msgs;
+      let k = List.length !distinct in
+      if k > 1 then
+        violation ~phase ~kind:"broadcast-width"
+          "node %d ships %d distinct payloads in one round; the broadcast \
+           model allows one payload per source per round"
+          src k)
+    outboxes
+
 let check_route ~phase ~width msgs =
   List.iter
     (fun (src, dst, payload) ->

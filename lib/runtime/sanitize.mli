@@ -25,8 +25,9 @@
     test code. *)
 
 exception Violation of { phase : string; kind : string; detail : string }
-(** [kind] is one of ["width"], ["phase-attribution"], ["ledger-drift"].
-    A printer is registered, so uncaught violations print readably. *)
+(** [kind] is one of ["width"], ["duplicate-dst"], ["broadcast-width"],
+    ["phase-attribution"], ["ledger-drift"]. A printer is registered, so
+    uncaught violations print readably. *)
 
 val env_var : string
 (** ["CC_SANITIZE"]. *)
@@ -87,6 +88,14 @@ val check_exchange :
   phase:string -> width:int -> (int * int array) list array -> unit
 (** Pre-check an exchange's per-pair word totals against [width]; raises
     {!Violation} naming [phase] on overflow. *)
+
+val check_exchange_broadcast :
+  phase:string -> width:int -> (int * int array) list array -> unit
+(** The broadcast-model width rule (DESIGN.md §13): every payload at most
+    [width] words, and every source's outbox carries {e one} distinct
+    payload — per-destination variation raises a ["broadcast-width"]
+    {!Violation} naming [phase]. Used by runtimes whose transport says
+    [unicast = false]. *)
 
 val check_route :
   phase:string -> width:int -> (int * int * int array) list -> unit

@@ -22,6 +22,15 @@ module type S = sig
   (** Per-ordered-pair word budget used when a call omits [?width]; the
       sanitizer asserts against the same value the kernel enforces. *)
 
+  val unicast : bool
+  (** Width rule the kernel enforces: [true] when each ordered pair gets
+      its own [width]-word budget (the standard clique / CONGEST rule),
+      [false] when each {e source} gets one payload per round that every
+      node receives (the Broadcast Congested Clique rule,
+      arXiv:2205.12059). The runtime picks the matching sanitizer check
+      ({!Sanitize.check_exchange} vs
+      {!Sanitize.check_exchange_broadcast}) off this flag. *)
+
   val rounds : t -> int
   (** Rounds elapsed on this transport so far (measured + charged). *)
 

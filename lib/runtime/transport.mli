@@ -16,6 +16,11 @@ module type S = sig
   val default_width : int
   (** Per-ordered-pair word budget used when a call omits [?width]. *)
 
+  val unicast : bool
+  (** Whether one source may ship distinct per-destination payloads in a
+      single round. [false] on broadcast-model kernels, where every node
+      sends one payload per round, heard by everyone. *)
+
   val rounds : t -> int
   (** Rounds elapsed on this kernel so far (measured plus charged). *)
 

@@ -36,7 +36,11 @@ let cluster_sparsifier backend sub vs =
       else translate (Bss.sparsify ~d sub)
   end
 
-let sparsify ?(phi = 0.05) ?(gamma = 0.25) ?max_levels ?(backend = Buckets) g =
+let sparsify ?(phi = 0.05) ?(gamma = 0.25) ?max_levels ?(backend = Buckets)
+    ?model g =
+  let model =
+    match model with Some m -> m | None -> Runtime.Model.default ()
+  in
   let n = Graph.n g in
   let m = Graph.m g in
   let max_levels =
@@ -67,8 +71,20 @@ let sparsify ?(phi = 0.05) ?(gamma = 0.25) ?max_levels ?(backend = Buckets) g =
         incr level;
         max_level_used := max !max_level_used !level;
         let d = Expander.Decomposition.decompose ~phi ~gamma !current in
+        (* The partition itself is model-independent; only its charged
+           price differs. Unicast pays the Theorem 3.2 formula; broadcast
+           pays the FV22 polylog recharge of the send-bound core
+           (DESIGN.md §13). The one-round result broadcast costs the same
+           either way — broadcasting is the model's native move. *)
+        let decompose_rounds =
+          match model with
+          | Runtime.Model.Unicast -> d.Expander.Decomposition.rounds
+          | Runtime.Model.Broadcast ->
+            Expander.Decomposition.bcast_rounds_formula
+              ~n:(Graph.n !current)
+        in
         Clique.Kernel.charge rt ~phase:"decompose"
-          (d.Expander.Decomposition.rounds + Runtime.Cost.broadcast_rounds);
+          (decompose_rounds + Runtime.Cost.broadcast_rounds);
         List.iter
           (fun vs ->
             let sub, _ = Graph.induced !current vs in
@@ -89,8 +105,14 @@ let sparsify ?(phi = 0.05) ?(gamma = 0.25) ?max_levels ?(backend = Buckets) g =
     (3 * Runtime.Cost.log2_ceil (max n 2))
     + Runtime.Cost.log2_ceil (int_of_float (Float.ceil u) + 1)
   in
+  (* A gather is receive-bound, so the two models price it almost alike:
+     ⌈m·w/(n-1)⌉ unicast vs ⌈m·w/n⌉ broadcast. *)
   Clique.Kernel.charge rt ~phase:"gather"
-    (Runtime.Cost.gather_rounds ~n ~m:(Graph.m h) ~bits_per_edge);
+    (match model with
+    | Runtime.Model.Unicast ->
+      Runtime.Cost.gather_rounds ~n ~m:(Graph.m h) ~bits_per_edge
+    | Runtime.Model.Broadcast ->
+      Runtime.Cost.bcast_gather_rounds ~n ~m:(Graph.m h) ~bits_per_edge);
   {
     sparsifier = h;
     levels = !max_level_used;
@@ -110,4 +132,12 @@ let rounds_bound ~n ~u ~gamma =
   let logn = Runtime.Cost.log2_ceil (max n 2) in
   let logu = 1 + Runtime.Cost.log2_ceil (int_of_float (Float.ceil u) + 1) in
   let per_call = Expander.Decomposition.rounds_formula ~n ~gamma in
+  (4 * (logn + 1) * logu * (per_call + 1)) + (8 * (logn + 4) * (logn + 4) * logu)
+
+let bcast_rounds_bound ~n ~u =
+  (* Same envelope as [rounds_bound] with the per-decomposition cost
+     swapped for the broadcast recharge: O(log n · log U · polylog n). *)
+  let logn = Runtime.Cost.log2_ceil (max n 2) in
+  let logu = 1 + Runtime.Cost.log2_ceil (int_of_float (Float.ceil u) + 1) in
+  let per_call = Expander.Decomposition.bcast_rounds_formula ~n in
   (4 * (logn + 1) * logu * (per_call + 1)) + (8 * (logn + 4) * (logn + 4) * logu)

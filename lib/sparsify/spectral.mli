@@ -32,13 +32,18 @@ val sparsify :
   ?gamma:float ->
   ?max_levels:int ->
   ?backend:backend ->
+  ?model:Runtime.Model.t ->
   Graph.t ->
   result
 (** [sparsify g]. [phi] (default 0.05) is the expander-decomposition target;
     [gamma] (default 0.25) only affects the charged round formula (it is the
     [n^{O(1/r²)}] knob of Theorem 3.2); [max_levels] (default
     [4·⌈log₂ m⌉ + 4]) caps the recursion — any leftover crossing edges are
-    then kept verbatim, which can only improve quality. *)
+    then kept verbatim, which can only improve quality. [model] (default
+    {!Runtime.Model.default}, i.e. the [CC_MODEL] environment variable)
+    selects unicast vs Broadcast Congested Clique {e accounting}: the
+    computed sparsifier is bit-identical under both models, only the
+    charged ["decompose"]/["gather"] rounds differ (DESIGN.md §13). *)
 
 val size_bound : n:int -> u:float -> int
 (** The [O(n log n log U)] edge-count bound of Theorem 3.3 with this
@@ -47,3 +52,9 @@ val size_bound : n:int -> u:float -> int
 
 val rounds_bound : n:int -> u:float -> gamma:float -> int
 (** The [O(log n · log U · n^{O(γ)})] round bound, for reference curves. *)
+
+val bcast_rounds_bound : n:int -> u:float -> int
+(** The Broadcast Congested Clique counterpart: polylogarithmic per
+    decomposition call ({!Expander.Decomposition.bcast_rounds_formula}),
+    matching the [log^{O(1)} n · log U] shape of arXiv:2205.12059. The E11
+    reference curve. *)

@@ -17,6 +17,10 @@ module S = Fault.Schedule
 module FSim = Fault.Inject.Make (Clique.Sim)
 module FRt = Runtime.Make (FSim)
 module FP = Clique.Programs.Make (FRt)
+module B = Clique.Broadcast
+module FBc = Fault.Inject.Make (Clique.Broadcast)
+module FBRt = Runtime.Make (FBc)
+module FBP = Clique.Programs.Make (FBRt)
 
 (* ------------------------------------------------------ shared fixtures *)
 
@@ -310,6 +314,147 @@ let test_congest_check_parity () =
          with Clique.Congest.Not_an_edge { src = 0; dst = 2 } -> true))
     [ Clique.Sim.Arena; Clique.Sim.Legacy; Clique.Sim.Shard ]
 
+(* ------------------------------------------ broadcast-model equivalence *)
+
+(* All four node programs on the broadcast kernel vs a unicast reference:
+   same answers, same rounds. Every exchange and broadcast costs one round
+   in either model and the receivers' adjacency/identity filters make the
+   wider broadcast inboxes semantically transparent, so the round totals
+   coincide exactly; only words differ. *)
+let test_broadcast_programs_match_unicast () =
+  let ids, succ, pred = ring n in
+  let urt = K.On_sim.create ~sanitize:true (Clique.Sim.create n) in
+  let u_bfs = K.Sim_programs.bfs urt g 0 in
+  let u_bf = K.Sim_programs.bellman_ford urt gw 0 in
+  let u_col, u_col_rounds = K.Sim_programs.three_color urt ~ids ~succ ~pred in
+  let u_mst, u_w, u_phases = K.Sim_programs.boruvka urt g in
+  let brt = K.On_bcast.create ~sanitize:true (B.create n) in
+  let b_bfs = K.Bcast_programs.bfs brt g 0 in
+  let b_bf = K.Bcast_programs.bellman_ford brt gw 0 in
+  let b_col, b_col_rounds = K.Bcast_programs.three_color brt ~ids ~succ ~pred in
+  let b_mst, b_w, b_phases = K.Bcast_programs.boruvka brt g in
+  Alcotest.(check (array int)) "bfs distances" u_bfs b_bfs;
+  Alcotest.(check (array (float 1e-9))) "bellman-ford distances" u_bf b_bf;
+  Alcotest.(check (array int)) "cycle colors" u_col b_col;
+  Alcotest.(check int) "coloring rounds" u_col_rounds b_col_rounds;
+  Alcotest.(check (list int)) "mst edges" u_mst b_mst;
+  Alcotest.(check (float 1e-9)) "mst weight" u_w b_w;
+  Alcotest.(check int) "boruvka phases" u_phases b_phases;
+  Alcotest.(check int)
+    "round totals coincide across models"
+    (K.On_sim.rounds urt) (K.On_bcast.rounds brt)
+
+(* The charged pipelines under explicit ~model: the computed sparsifier
+   and solver output are bit-identical; only the accounting moves, and
+   each total stays under its own model's reference bound. *)
+let test_broadcast_sparsify_solver_same_outputs () =
+  let u = Sparsify.Spectral.sparsify ~model:Runtime.Model.Unicast gw in
+  let b = Sparsify.Spectral.sparsify ~model:Runtime.Model.Broadcast gw in
+  Alcotest.(check bool) "same sparsifier edges" true
+    (Graph.edges u.Sparsify.Spectral.sparsifier
+    = Graph.edges b.Sparsify.Spectral.sparsifier);
+  Alcotest.(check int) "same levels" u.Sparsify.Spectral.levels
+    b.Sparsify.Spectral.levels;
+  Alcotest.(check int) "same classes" u.Sparsify.Spectral.classes
+    b.Sparsify.Spectral.classes;
+  let uw = Float.max 1. (Graph.max_weight gw) in
+  Alcotest.(check bool) "unicast rounds under unicast bound" true
+    (u.Sparsify.Spectral.rounds
+    <= Sparsify.Spectral.rounds_bound ~n ~u:uw ~gamma:0.25);
+  Alcotest.(check bool) "broadcast rounds under broadcast bound" true
+    (b.Sparsify.Spectral.rounds
+    <= Sparsify.Spectral.bcast_rounds_bound ~n ~u:uw);
+  Alcotest.(check bool) "accounting actually differs" true
+    (u.Sparsify.Spectral.rounds <> b.Sparsify.Spectral.rounds);
+  let rhs = Linalg.Vec.init n (fun i -> float_of_int (i mod 5) -. 2.) in
+  let su = Laplacian.Solver.solve ~model:Runtime.Model.Unicast gw rhs in
+  let sb = Laplacian.Solver.solve ~model:Runtime.Model.Broadcast gw rhs in
+  Alcotest.(check (array (float 1e-12))) "same solution"
+    su.Laplacian.Solver.x sb.Laplacian.Solver.x;
+  Alcotest.(check int) "same chebyshev iterations"
+    su.Laplacian.Solver.iterations sb.Laplacian.Solver.iterations;
+  List.iter
+    (fun phase ->
+      Alcotest.(check int)
+        (phase ^ " phase is model-independent")
+        (List.assoc phase su.Laplacian.Solver.phase_rounds)
+        (List.assoc phase sb.Laplacian.Solver.phase_rounds))
+    [ "chebyshev"; "kappa-estimate" ];
+  Alcotest.(check bool) "sparsify phase is recharged" true
+    (List.assoc "sparsify" su.Laplacian.Solver.phase_rounds
+    <> List.assoc "sparsify" sb.Laplacian.Solver.phase_rounds)
+
+(* Chaos on the broadcast transport: the injector draws once per source
+   per exchange there, and the whole run must be deterministic — two
+   identically-seeded runs give the same transcripts and event logs. *)
+let drive_bcast_chaos () =
+  let tr = FBc.inject ~schedule:chaos_schedule (B.create n) in
+  let rt = FBRt.create ~sanitize:true tr in
+  ignore (FBP.bfs rt g 0);
+  ignore (FBP.bellman_ford rt gw 0);
+  ( signature (FBRt.rounds rt) (FBRt.words rt) (FBRt.sanitizer rt),
+    FBc.injected_total tr,
+    FBc.injected tr,
+    List.map (Format.asprintf "%a" Fault.Inject.pp_event) (FBc.events tr) )
+
+let test_broadcast_chaos_deterministic () =
+  let s1, t1, c1, e1 = drive_bcast_chaos () in
+  let s2, t2, c2, e2 = drive_bcast_chaos () in
+  Alcotest.(check bool) "schedule is actually injecting" true (t1 > 0);
+  Alcotest.check signature_t "broadcast chaos transcript repeats" s1 s2;
+  Alcotest.(check int) "injected totals repeat" t1 t2;
+  Alcotest.(check (list (pair string int))) "injected counts repeat" c1 c2;
+  Alcotest.(check (list string)) "event logs repeat" e1 e2
+
+(* Direct transport semantics: collapse of redundant per-destination
+   entries, deliver-to-everyone inboxes, the Multi_payload error, and the
+   sequential-broadcast cost of route. *)
+let test_broadcast_transport_semantics () =
+  let t = B.create 4 in
+  let inboxes =
+    B.exchange t [| [ (1, [| 7; 8 |]); (2, [| 7; 8 |]) ]; []; [ (0, [| 5 |]) ]; [] |]
+  in
+  let expected = [ (0, [| 7; 8 |]); (2, [| 5 |]) ] in
+  Array.iteri
+    (fun v inbox ->
+      Alcotest.check
+        Alcotest.(list (pair int (array int)))
+        (Printf.sprintf "node %d hears the whole air, src-ascending" v)
+        expected inbox)
+    inboxes;
+  Alcotest.(check int) "one round" 1 (B.rounds t);
+  Alcotest.(check int) "words are (n-1) per on-air payload word"
+    ((3 * 2) + (3 * 1))
+    (B.words_sent t);
+  Alcotest.(check (list (pair string int)))
+    "collapse counted"
+    [ ("kernel.bcast.exchanges", 1); ("kernel.bcast.collapsed", 1) ]
+    (B.stats t);
+  (* Distinct payloads from one source are a model violation... *)
+  Alcotest.(check bool) "multi-payload raises" true
+    (try
+       ignore (B.exchange t [| [ (1, [| 1 |]); (2, [| 2 |]) ]; []; []; [] |]);
+       false
+     with B.Multi_payload { src = 0; distinct = 2; _ } -> true);
+  (* ...and an oversized payload is a width error with dst = -1. *)
+  Alcotest.(check bool) "oversized payload raises" true
+    (try
+       ignore (B.exchange t [| [ (1, [| 1; 2; 3 |]) ]; []; []; [] |]);
+       false
+     with B.Bandwidth_exceeded { src = 0; dst = -1; words = 3; width = 2; _ }
+     -> true);
+  (* route airs each source's messages one per round: 2 rounds here. *)
+  let t = B.create 4 in
+  let inboxes =
+    B.route t [ (0, 1, [| 1 |]); (0, 2, [| 2 |]); (3, 1, [| 9 |]) ]
+  in
+  Alcotest.(check int) "route rounds = max per-src count" 2 (B.rounds t);
+  Alcotest.check
+    Alcotest.(list (pair int (array int)))
+    "route keeps addressed delivery"
+    [ (0, [| 1 |]); (3, [| 9 |]) ]
+    inboxes.(1)
+
 (* ------------------------------------------------------------ the suite *)
 
 let () =
@@ -323,6 +468,17 @@ let () =
             test_sparsifier_equivalent;
           Alcotest.test_case "chaos: faults inject bit-identically" `Quick
             test_chaos_equivalent;
+        ] );
+      ( "broadcast",
+        [
+          Alcotest.test_case "programs: same answers and rounds as unicast"
+            `Quick test_broadcast_programs_match_unicast;
+          Alcotest.test_case "sparsify/solve: outputs model-independent"
+            `Quick test_broadcast_sparsify_solver_same_outputs;
+          Alcotest.test_case "chaos: deterministic on the broadcast kernel"
+            `Quick test_broadcast_chaos_deterministic;
+          Alcotest.test_case "transport: collapse, air, errors, route cost"
+            `Quick test_broadcast_transport_semantics;
         ] );
       ( "arena",
         [

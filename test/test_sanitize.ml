@@ -83,6 +83,54 @@ let test_duplicate_dst_width_wins () =
   let rt = K.On_sim.create ~sanitize:true (Clique.Sim.create 3) in
   ignore (K.On_sim.exchange rt [| [ (1, [| 1 |]); (2, [| 2 |]) ]; []; [] |])
 
+(* ------------------------------------------------ broadcast width rule *)
+
+let test_broadcast_multi_payload_flagged () =
+  (* The planted violation of the broadcast model: one source ships two
+     distinct payloads in a single round. The sanitizer must reject it
+     before the transport runs and name the offending phase. *)
+  let rt = K.On_bcast.create ~sanitize:true (Clique.Broadcast.create 3) in
+  match
+    violation "broadcast-width" (fun () ->
+        K.On_bcast.with_phase rt "fanout" (fun () ->
+            K.On_bcast.exchange rt [| [ (1, [| 7 |]); (2, [| 8 |]) ]; []; [] |]))
+  with
+  | None -> Alcotest.fail "two distinct payloads per src must trip the sanitizer"
+  | Some (phase, detail) ->
+    Alcotest.(check string) "offending phase is reported" "fanout" phase;
+    Alcotest.(check bool) "detail names the source and the rule" true
+      (String.length detail > 0)
+
+let test_broadcast_width_wins_and_legal_fanout () =
+  (* An oversized payload reports "width" even when the outbox is also
+     multi-payload (check ordering mirrors the unicast sanitizer)... *)
+  let rt = K.On_bcast.create ~sanitize:true (Clique.Broadcast.create 3) in
+  Alcotest.(check bool) "width reported before broadcast-width" true
+    (violation "width" (fun () ->
+         K.On_bcast.exchange rt
+           [| [ (1, [| 1; 2; 3 |]); (2, [| 9 |]) ]; []; [] |])
+    <> None);
+  (* ...and a same-payload fanout is exactly what the model allows. *)
+  let rt = K.On_bcast.create ~sanitize:true (Clique.Broadcast.create 3) in
+  ignore (K.On_bcast.exchange rt [| [ (1, [| 5 |]); (2, [| 5 |]) ]; []; [] |]);
+  Alcotest.(check int) "legal fanout is one round" 1 (K.On_bcast.rounds rt)
+
+let test_model_selector () =
+  let module Mo = Runtime.Model in
+  Fun.protect
+    ~finally:(fun () -> Mo.set_default None)
+    (fun () ->
+      Alcotest.(check bool) "broadcast parses" true
+        (Mo.of_string "Broadcast" = Some Mo.Broadcast
+        && Mo.of_string "bcast" = Some Mo.Broadcast);
+      Alcotest.(check bool) "unicast parses" true
+        (Mo.of_string "unicast" = Some Mo.Unicast);
+      Alcotest.(check bool) "junk rejected" true (Mo.of_string "???" = None);
+      Mo.set_default (Some Mo.Broadcast);
+      Alcotest.(check string) "forced default wins" "broadcast"
+        (Mo.name (Mo.default ()));
+      Mo.set_default None)
+
 (* ---------------------------------------------------- phase attribution *)
 
 let test_phase_attribution () =
@@ -229,6 +277,11 @@ let suite =
       test_duplicate_dst_flagged;
     Alcotest.test_case "width beats duplicate-dst; distinct dst legal" `Quick
       test_duplicate_dst_width_wins;
+    Alcotest.test_case "broadcast multi-payload flagged" `Quick
+      test_broadcast_multi_payload_flagged;
+    Alcotest.test_case "broadcast width ordering; same-payload fanout legal"
+      `Quick test_broadcast_width_wins_and_legal_fanout;
+    Alcotest.test_case "CC_MODEL selector" `Quick test_model_selector;
     Alcotest.test_case "phase attribution" `Quick test_phase_attribution;
     Alcotest.test_case "no checks when unsanitized" `Quick
       test_phase_attribution_off_when_unsanitized;
