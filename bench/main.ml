@@ -1082,6 +1082,152 @@ let e11_models () =
       { s_name = "programs"; s_seed = 11L; s_rows = program_rows };
     ]
 
+(* ------------------------------------------------------------------ E12 *)
+
+(* Shard supervision and certified recovery (DESIGN.md section 14): the
+   E10 all-to-all workload driven through the socket transport while
+   workers are probed and killed. Three series:
+   - "heartbeat": explicit liveness probes between rounds — rows assert
+     every probe acked, none missed, and that probing charges no rounds;
+   - "kill-respawn": SIGKILL one worker mid-run under [Respawn] — rows
+     assert the final inboxes bit-identical to the in-process arena and
+     land the replayed round in the "recovery" phase (the hard gate);
+   - "kill-drain": SIGKILL one worker under [Drain] — survivors absorb
+     the dead shard's node range (epoch bump) and the output stays
+     bit-identical on the degraded session. *)
+
+let e12_rounds = 4
+
+let e12_sizes = sizes ~full:[ 48; 96 ] ~reduced:[ 48 ]
+
+let e12_probes = 3
+
+let e12_reference n =
+  let arena = Clique.Sim.create ~kernel:Clique.Sim.Arena n in
+  let outboxes = e9_outboxes n in
+  let r = ref [||] in
+  for _ = 1 to e12_rounds do
+    r := Clique.Sim.exchange arena outboxes
+  done;
+  (!r, Clique.Sim.rounds arena)
+
+(* Mirror of the coordinator's own death handling: SIGKILL, then reap so
+   the bench never leaves a zombie even if recovery respawns first. *)
+let e12_kill t slot =
+  let pid = List.nth (Clique.Socket.pids t) slot in
+  Unix.kill pid Sys.sigkill;
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let e12_resilience () =
+  header
+    "E12 | shard supervision - heartbeat overhead and certified recovery \
+     from worker death (respawn replay, drain degradation)";
+  let reg = Metrics.create () in
+  let stat st name = Option.value (List.assoc_opt name st) ~default:0 in
+  Printf.printf "%14s %6s %7s %8s %10s %8s %6s %8s\n" "series" "n" "shards"
+    "rounds" "recovery" "deaths" "epoch" "equal";
+  let print_row series n t equal =
+    Printf.printf "%14s %6d %7d %8d %10d %8d %6d %8s\n" series n
+      (Clique.Socket.shards t) (Clique.Socket.rounds t)
+      (Clique.Socket.recovery_rounds t)
+      (stat (Clique.Socket.stats t) "shard.deaths")
+      (Clique.Socket.epoch t)
+      (if equal then "yes" else "NO")
+  in
+  let socket_stats t =
+    List.map (fun (k, v) -> (k, J.Int v)) (Clique.Socket.stats t)
+  in
+  let heartbeat_rows =
+    List.map
+      (fun n ->
+        let reference, ref_rounds = e12_reference n in
+        let outboxes = e9_outboxes n in
+        let t = Clique.Socket.create ~shards:2 n in
+        let last = ref [||] in
+        for _ = 1 to e12_rounds do
+          for _ = 1 to e12_probes do
+            Clique.Socket.heartbeat t
+          done;
+          last := Clique.Socket.exchange t outboxes
+        done;
+        let st = Clique.Socket.stats t in
+        let sent = stat st "shard.heartbeat.sent" in
+        let equal =
+          !last = reference
+          && Clique.Socket.rounds t = ref_rounds
+          && Clique.Socket.recovery_rounds t = 0
+          && sent = e12_rounds * e12_probes * Clique.Socket.live_workers t
+          && stat st "shard.heartbeat.acked" = sent
+          && stat st "shard.heartbeat.missed" = 0
+        in
+        assert equal;
+        print_row "heartbeat" n t equal;
+        let r =
+          row reg
+            ~key:(Printf.sprintf "n=%d probes=%d" n e12_probes)
+            ~params:[ ("n", J.Int n); ("probes", J.Int e12_probes) ]
+            ~stats:(socket_stats t) ~ref_rounds
+            ~rounds:(Clique.Socket.rounds t) ~phases:[] ()
+        in
+        Clique.Socket.close t;
+        r)
+      e12_sizes
+  in
+  let kill_rows policy name shards victim =
+    List.map
+      (fun n ->
+        let reference, ref_rounds = e12_reference n in
+        let outboxes = e9_outboxes n in
+        let t =
+          Clique.Socket.create ~shards ~policy ~timeout:10.0 ~backoff:0.05 n
+        in
+        let last = ref [||] in
+        for r = 1 to e12_rounds do
+          if r = e12_rounds / 2 then e12_kill t victim;
+          last := Clique.Socket.exchange t outboxes
+        done;
+        let recovery = Clique.Socket.recovery_rounds t in
+        let st = Clique.Socket.stats t in
+        let equal =
+          !last = reference
+          && Clique.Socket.rounds t = ref_rounds + recovery
+          && recovery = 1
+          && stat st "shard.deaths" = 1
+          && Clique.Socket.epoch t > 1
+        in
+        assert equal;
+        print_row name n t equal;
+        let r =
+          row reg
+            ~key:(Printf.sprintf "n=%d shards=%d" n shards)
+            ~params:[ ("n", J.Int n); ("shards", J.Int shards) ]
+            ~stats:(socket_stats t) ~ref_rounds
+            ~rounds:(Clique.Socket.rounds t)
+            ~phases:[ ("recovery", recovery) ]
+            ()
+        in
+        Clique.Socket.close t;
+        r)
+      e12_sizes
+  in
+  let respawn_rows = kill_rows Runtime.Shard.Respawn "kill-respawn" 2 1 in
+  let drain_rows = kill_rows Runtime.Shard.Drain "kill-drain" 3 1 in
+  experiment ~id:"E12"
+    ~title:
+      "shard supervision - heartbeat overhead and certified recovery from \
+       worker death"
+    ~note:
+      "rows assert recovery bit-identical to the in-process arena: respawn \
+       replays the interrupted round (charged to the recovery phase, the \
+       hard gate), drain reassigns the dead shard's range under a bumped \
+       epoch, and heartbeat probes ack cleanly without charging rounds"
+    reg
+    [
+      { s_name = "heartbeat"; s_seed = 0L; s_rows = heartbeat_rows };
+      { s_name = "kill-respawn"; s_seed = 0L; s_rows = respawn_rows };
+      { s_name = "kill-drain"; s_seed = 0L; s_rows = drain_rows };
+    ]
+
 (* -------------------------------------------------- Bechamel wall-clock *)
 
 let wall_clock () =
@@ -1239,7 +1385,8 @@ let () =
   let x9 = e9_kernel () in
   let x10 = e10_sharded () in
   let x11 = e11_models () in
-  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8; x9; x10; x11 ] in
+  let x12 = e12_resilience () in
+  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8; x9; x10; x11; x12 ] in
   let wall = wall_clock () in
   (* E9 headline: arena-vs-legacy speedup at the largest size measured. *)
   let biggest = List.fold_left max 0 e9_sizes in

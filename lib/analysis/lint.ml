@@ -40,6 +40,18 @@ let wire_privileged path =
   under "wire" path
   || (under "clique" path && Filename.basename path = "socket.ml")
 
+(* The only lib code allowed to name Shard_down: the supervisor that
+   raises and recovers from it (the socket coordinator and the fault
+   drivers) and its definition site. Charged layers must let it propagate
+   (L13) — recovery without re-certification is not recovery. Harness
+   trees (test/, bench/, bin/) assert on it freely. *)
+let supervisor_privileged path =
+  under "fault" path
+  || (under "clique" path
+     && List.mem (Filename.basename path) [ "socket.ml"; "socket.mli" ])
+  || (under "runtime" path
+     && List.mem (Filename.basename path) [ "shard.ml"; "shard.mli" ])
+
 let is_lib_module path =
   match segments path with "lib" :: _ :: _ -> true | _ -> false
 
@@ -164,7 +176,8 @@ let toplevel_binding code_line =
     done;
     if !j > !i then Some (String.sub code_line !i (!j - !i)) else None
 
-let line_findings ~file ~charged ~privileged ~wire_ok ~hot lineno code_line =
+let line_findings ~file ~charged ~privileged ~wire_ok ~supervisor_ok ~hot
+    lineno code_line =
   let found = ref [] in
   let add rule message = found := (rule, message) :: !found in
   if charged then begin
@@ -224,6 +237,11 @@ let line_findings ~file ~charged ~privileged ~wire_ok ~hot lineno code_line =
                 preallocated buffers (see Runtime.Arena)"
                tok))
       alloc_tokens;
+  if not supervisor_ok then
+    if mentions code_line "Shard_down" then
+      add Rule.L13
+        "Shard_down outside the supervisor layer: let it propagate — only \
+         lib/clique/socket.ml and lib/fault/ may handle a dead worker";
   if mentions code_line "Obj.magic" then
     add Rule.L4 "Obj.magic is forbidden";
   if catch_all code_line then
@@ -238,6 +256,7 @@ let scan_source ~file src =
   let charged = is_charged file in
   let privileged = transport_privileged file in
   let wire_ok = wire_privileged file in
+  let supervisor_ok = (not (is_lib_module file)) || supervisor_privileged file in
   (* [strip] preserves newlines, so raw and code line arrays are parallel. *)
   let raw = Array.of_list (Scan.lines src) in
   let code = Array.of_list (Scan.lines (Scan.strip src)) in
@@ -257,7 +276,8 @@ let scan_source ~file src =
       | Some nm -> current := nm
       | None -> ());
       let hot = Hashtbl.mem hot_set !current in
-      line_findings ~file ~charged ~privileged ~wire_ok ~hot (idx + 1) code_line
+      line_findings ~file ~charged ~privileged ~wire_ok ~supervisor_ok ~hot
+        (idx + 1) code_line
       |> List.iter (fun f ->
              if not (Rule.suppressed f.rule raw.(idx)) then
                findings := f :: !findings))

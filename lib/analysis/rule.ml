@@ -1,6 +1,6 @@
-type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12 | L13
 
-let all = [ L1; L2; L3; L4; L5; L6; L7; L8; L9; L10; L11; L12 ]
+let all = [ L1; L2; L3; L4; L5; L6; L7; L8; L9; L10; L11; L12; L13 ]
 
 let to_string = function
   | L1 -> "L1"
@@ -15,6 +15,7 @@ let to_string = function
   | L10 -> "L10"
   | L11 -> "L11"
   | L12 -> "L12"
+  | L13 -> "L13"
 
 let of_string = function
   | "L1" -> Some L1
@@ -29,6 +30,7 @@ let of_string = function
   | "L10" -> Some L10
   | "L11" -> Some L11
   | "L12" -> Some L12
+  | "L13" -> Some L13
   | _ -> None
 
 (* The semantic (AST/call-graph) rules, shipped by the --semantic pass. *)
@@ -73,6 +75,11 @@ let synopsis = function
     "[semantic] allocation inside a (* cc_lint: hot ... *) function, \
      AST-accurate: unlike L8's lexical tracker it sees nested let \
      bindings, so hot closures defined inside factories are covered"
+  | L13 ->
+    "Shard_down handled outside the supervisor layer: only the socket \
+     coordinator (lib/clique/socket.ml), the fault drivers (lib/fault/), \
+     and the definition site may name the exception — a charged layer \
+     that catches it papers over a dead worker without certification"
 
 let allow_marker = "cc_lint: allow"
 

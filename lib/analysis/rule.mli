@@ -6,10 +6,11 @@
     Rules are identified as [L1]..[Ln] (the catalog range is whatever
     {!all} holds — never hardcode it) and can be suppressed per line with a
     [(* cc_lint: allow L2 *)] comment (ids match case-insensitively).
-    [L1]-[L9] are lexical (per-line, {!Scan}); the {!semantic} subset is
-    computed from the compiler parse tree and call graph ({!Semantic}). *)
+    [L1]-[L9] and [L13] are lexical (per-line, {!Scan}); the {!semantic}
+    subset is computed from the compiler parse tree and call graph
+    ({!Semantic}). *)
 
-type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
+type id = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12 | L13
 (** The rule catalog; see {!synopsis} for what each enforces. *)
 
 val all : id list
@@ -21,7 +22,7 @@ val semantic : id list
     (AST-accurate hot-path allocation, superseding [L8]). *)
 
 val to_string : id -> string
-(** ["L1"] .. ["L12"] — the id as it appears in findings and markers. *)
+(** ["L1"] .. ["L13"] — the id as it appears in findings and markers. *)
 
 val of_string : string -> id option
 (** Inverse of {!to_string}, case-insensitive; [None] on unknown ids. *)

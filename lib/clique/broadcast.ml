@@ -43,6 +43,8 @@ let rounds t = t.rounds
 
 let words_sent t = t.words_sent
 
+let recovery_rounds _ = 0
+
 let default_width = 2
 
 let unicast = false

@@ -55,6 +55,9 @@ val words_sent : t -> int
     unicast kernels: each broadcast payload contributes
     [(n-1)·|payload|]. *)
 
+val recovery_rounds : t -> int
+(** Always 0 — an in-process kernel has no workers to lose. *)
+
 val default_width : int
 (** 2, like every clique kernel — the per-{e source} budget here. *)
 

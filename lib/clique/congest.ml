@@ -38,6 +38,8 @@ let rounds t = t.rounds
 
 let words_sent t = t.words_sent
 
+let recovery_rounds _ = 0
+
 let check t ~src ~dst =
   if not (Hashtbl.mem t.neighbors.(src) dst) then raise (Not_an_edge { src; dst })
 
@@ -94,6 +96,7 @@ module Self = struct
   let unicast = unicast
   let rounds = rounds
   let words_sent = words_sent
+  let recovery_rounds = recovery_rounds
   let exchange = exchange
   let route = route
   let broadcast = broadcast

@@ -36,6 +36,9 @@ val rounds : t -> int
 val words_sent : t -> int
 (** Total words ever sent (message-complexity measure). *)
 
+val recovery_rounds : t -> int
+(** Always 0 — an in-process kernel has no workers to lose. *)
+
 val default_width : int
 (** 2 — same per-edge budget as {!Sim.default_width}. *)
 

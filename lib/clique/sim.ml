@@ -54,6 +54,9 @@ let rounds t =
 let words_sent t =
   match t.engine with Sharded s -> Socket.words_sent s | Local _ -> t.words_sent
 
+let recovery_rounds t =
+  match t.engine with Sharded s -> Socket.recovery_rounds s | Local _ -> 0
+
 let default_width = 2
 
 let unicast = true

@@ -67,6 +67,10 @@ val rounds : t -> int
 val words_sent : t -> int
 (** Total words ever sent (message-complexity measure). *)
 
+val recovery_rounds : t -> int
+(** Rounds spent replaying operations after a worker death — nonzero only
+    on the sharded engine (delegates to [Socket.recovery_rounds]). *)
+
 val default_width : int
 (** 2 — a tag word plus a value word per ordered pair per round. *)
 

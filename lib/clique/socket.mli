@@ -1,6 +1,6 @@
 (** The multi-process clique: a {!Runtime.TRANSPORT} instance whose
-    delivery runs on [CC_SHARDS] spawned worker processes connected by
-    framed sockets (DESIGN.md §11).
+    delivery runs on [CC_SHARDS] worker processes connected by framed
+    sockets (DESIGN.md §11), under supervision (§14).
 
     Node IDs are partitioned into contiguous shard ranges
     ([Runtime.Shard]); each worker delivers its range on a private
@@ -10,17 +10,43 @@
     (shard, shard) pair that actually carries cross traffic — shard-level
     Lenzen batching — and replies once. Links are Unix-domain socket
     pairs by default, TCP when [CC_SHARD_ADDR=host:port] (or [?addr]) is
-    set.
+    set; with a TCP rendezvous, [CC_SHARD_REMOTE=k] reserves the last [k]
+    shard slots for externally-launched workers ([bin/cc_worker], which
+    may run on any host that can reach the coordinator).
 
     Rounds are bit-identical to the in-process kernels: same inbox
     contents and order, same errors ({!Bandwidth_exceeded} with the same
     (src, dst, words, width, phase) fields even when detected inside a
-    worker), same sanitizer transcripts. A worker that dies or a link
-    that hits EOF mid-round raises [Runtime.Shard.Shard_down] naming the
-    shard and round — never a hang. *)
+    worker), same sanitizer transcripts.
+
+    {2 Supervision}
+
+    Every blocking wait is bounded by [CC_SHARD_TIMEOUT] (seconds, default
+    30) and every frame carries the session {!epoch}. A worker death —
+    EOF, a timeout, or a survivor's report of a dead mesh peer — is
+    handled per [CC_SHARD_POLICY] ([?policy]):
+
+    - [Fail] (default): raise [Runtime.Shard.Shard_down] naming the shard
+      and round, exactly the pre-supervision behaviour.
+    - [Respawn]: replace the dead worker (up to [CC_SHARD_RESPAWNS] times,
+      exponential backoff from [CC_SHARD_BACKOFF] seconds), bump the
+      epoch, rebuild the mesh, and replay the interrupted operation from
+      its retained input — output bit-identical to an undisturbed run.
+    - [Drain]: mark the shard dead, merge its node range into a surviving
+      neighbour (epoch-versioned [Runtime.Shard.Partition]), and continue
+      degraded on the remaining workers.
+
+    Each aborted-and-replayed attempt is charged one round to
+    {!recovery_rounds}; [Runtime.Make] routes that delta to the
+    ["recovery"] ledger phase, so resilience cost is a visible line item.
+    Frames from a dead incarnation carry a stale epoch and are skipped on
+    receipt. Bootstrap itself is deadline-bounded too: a worker that dies
+    — or a client that connects but never completes the hello — yields a
+    structured [Shard_down] with [round = 0], never a hang. *)
 
 type t
-(** A live sharded session: coordinator state, links, worker processes. *)
+(** A live sharded session: coordinator state, links, worker processes,
+    and the epoch-versioned live partition. *)
 
 exception
   Bandwidth_exceeded of {
@@ -38,18 +64,57 @@ val name : string
 val env_addr : string
 (** ["CC_SHARD_ADDR"]. *)
 
-val create : ?shards:int -> ?addr:string -> int -> t
+val env_remote : string
+(** ["CC_SHARD_REMOTE"] — how many shard slots await external workers. *)
+
+val env_remote_worker : string
+(** ["CC_SHARD_REMOTE_WORKER"] — set to the coordinator's address, turns
+    any binary linking this library into a remote worker at startup. *)
+
+val env_heartbeat : string
+(** ["CC_SHARD_HEARTBEAT"] — liveness-probe interval in seconds; [0]
+    (the default) disables probing between operations. *)
+
+val env_log : string
+(** ["CC_SHARD_LOG"] — append supervisor events to this file. *)
+
+val env_respawns : string
+(** ["CC_SHARD_RESPAWNS"] — respawn attempt bound (default 3). *)
+
+val env_backoff : string
+(** ["CC_SHARD_BACKOFF"] — base respawn backoff in seconds (default
+    0.2; attempt [i] waits [backoff · 2^(i-1)]). *)
+
+val create :
+  ?shards:int ->
+  ?addr:string ->
+  ?remote:int ->
+  ?policy:Runtime.Shard.policy ->
+  ?timeout:float ->
+  ?heartbeat:float ->
+  ?max_respawns:int ->
+  ?backoff:float ->
+  ?log:string ->
+  int ->
+  t
 (** [create n] spawns the worker family by re-executing the current
     binary ([Unix.fork] is unavailable once any domain ever ran; the
     [CC_SHARD_WORKER] environment variable diverts the re-exec into the
     worker loop before the program's own entry point), then wires every
     link through a socket rendezvous: workers dial the coordinator's
-    listener, learn the peer table, and build the full worker mesh before
-    the session goes live. [shards] defaults to
-    [Runtime.Shard.default_shards ()] and is clamped to [n]; [addr]
-    defaults to [CC_SHARD_ADDR], absent meaning Unix-domain sockets under
-    the temp directory. A worker that dies during bootstrap raises
-    [Runtime.Shard.Shard_down] with [round = 0] — never a hang. *)
+    listener, receive the epoch-stamped live-partition config, build the
+    full worker mesh, and confirm ready before the session goes live —
+    the same config/ready round that recovery replays later.
+
+    [shards] defaults to [Runtime.Shard.default_shards ()] and is clamped
+    to [n]. [addr] defaults to [CC_SHARD_ADDR]; absent means Unix-domain
+    sockets under the temp directory. [remote] (default [CC_SHARD_REMOTE],
+    else 0) reserves the last [remote] shard slots for external workers
+    joining through the TCP rendezvous — requires [addr], and bootstrap
+    waits for them like any other worker, bounded by [timeout]. [policy],
+    [timeout], [heartbeat], [max_respawns], [backoff] and [log] default to
+    their environment knobs as documented above. Every bootstrap failure
+    is a structured [Runtime.Shard.Shard_down] with [round = 0]. *)
 
 val close : t -> unit
 (** Send shutdown frames, close links, reap the worker processes.
@@ -59,20 +124,43 @@ val shutdown_all : unit -> unit
 (** {!close} every live session (the test-suite and at-exit hook). *)
 
 val shards : t -> int
-(** Worker-process count of this session. *)
+(** Worker-slot count of this session (dead slots included). *)
 
 val pids : t -> int list
-(** The worker process IDs, in shard order — the fault-injection tests
-    kill one to exercise {!Runtime.Shard.Shard_down}. *)
+(** Worker process IDs in shard order; [-1] for remote or reaped slots —
+    the kill-matrix tests SIGKILL one to exercise the supervisor. *)
 
 val n : t -> int
 (** Number of clique nodes in the session. *)
 
 val rounds : t -> int
-(** Rounds elapsed so far (coordinator view). *)
+(** Rounds elapsed so far (coordinator view), replays included. *)
 
 val words_sent : t -> int
-(** Total words ever sent, identical to the in-process kernels. *)
+(** Total words ever sent, identical to the in-process kernels (an
+    aborted attempt's words are never counted — only the successful
+    replay's). *)
+
+val recovery_rounds : t -> int
+(** Of {!rounds}, how many were aborted by a worker death and replayed —
+    the delta [Runtime.Make] charges to the ["recovery"] phase. *)
+
+val epoch : t -> int
+(** Current session epoch: 1 at bootstrap, bumped by every recovery
+    event. Frames stamped with an older epoch are ignored on receipt. *)
+
+val live_workers : t -> int
+(** How many shard slots are currently alive (< {!shards} after drains). *)
+
+val policy : t -> Runtime.Shard.policy
+(** The supervision policy this session runs under. *)
+
+val heartbeat : t -> unit
+(** Probe every live worker now and run recovery for any that fails to
+    ack within the session timeout. Called automatically between
+    operations when [CC_SHARD_HEARTBEAT] (or [?heartbeat]) is positive;
+    exposed for tests and long idle periods. Heartbeat-triggered
+    recovery charges no round (there was no operation to replay). *)
 
 val default_width : int
 (** 2, as on every clique kernel. *)
@@ -83,7 +171,8 @@ val unicast : bool
 val exchange :
   ?width:int -> t -> (int * int array) list array -> (int * int array) list array
 (** One synchronous round over the workers; bit-identical inboxes to
-    {!Sim.exchange} (the differential suite's core claim). *)
+    {!Sim.exchange} (the differential suite's core claim), including
+    across a mid-round worker death recovered under [Respawn]/[Drain]. *)
 
 val route :
   ?width:int -> t -> (int * int * int array) list -> (int * int array) list array
@@ -92,7 +181,8 @@ val route :
     message stream). *)
 
 val broadcast : ?width:int -> t -> int array array -> int array array
-(** One-to-all broadcast, coordinator-side like {!route}. *)
+(** One-to-all broadcast: each worker width-checks and echoes its node
+    range, the coordinator assembles the common view. *)
 
 val charge : t -> int -> unit
 (** Advance the round counter analytically (no delivery). *)
@@ -100,4 +190,15 @@ val charge : t -> int -> unit
 val stats : t -> (string * int) list
 (** [wire.frames], [wire.bytes_sent], [wire.bytes_recv] (coordinator
     traffic plus worker-reported mesh traffic), [shard.crossings] (count
-    of cross-shard messages), [shard.shards]. *)
+    of cross-shard messages), [shard.shards], and the supervision
+    counters: [shard.live], [shard.epoch], [shard.deaths],
+    [shard.respawn], [shard.drain], [shard.heartbeat.sent] / [.acked] /
+    [.missed], [shard.recovery_rounds]. *)
+
+val remote_worker : string -> unit
+(** Run this process as a remote worker: dial the coordinator at the
+    given address ([host:port], or explicit [tcp:]/[unix:]), join the
+    hello rendezvous with a slot-assignment request, serve rounds until
+    shutdown, then [Unix._exit]. Never returns. [bin/cc_worker] is a thin
+    wrapper; setting [CC_SHARD_REMOTE_WORKER=<addr>] diverts any binary
+    linking this library here at startup. *)

@@ -57,6 +57,8 @@ module Make (T : Runtime.TRANSPORT) = struct
 
   let words_sent t = T.words_sent t.base
 
+  let recovery_rounds t = T.recovery_rounds t.base
+
   let charge t r = T.charge t.base r
 
   (* The wrapped kernel's counters pass straight through, so arena stats

@@ -18,7 +18,7 @@ let () =
            workload attempts cause)
     | _ -> None)
 
-let recovery_phase = "recovery"
+let recovery_phase = Runtime.Cost.recovery_phase
 
 type 'a outcome = { value : 'a; attempts : int; recovered : bool }
 

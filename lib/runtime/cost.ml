@@ -24,6 +24,11 @@ let reset t =
 let merge_into src dst =
   List.iter (fun (phase, r) -> charge dst ~phase r) (phases src)
 
+(* The ledger phase every replayed or retried round is charged to — the
+   fault layer's verify-and-retry driver and the shard supervisor's
+   round replay both use it, so recovery overhead is one line item. *)
+let recovery_phase = "recovery"
+
 let lenzen_routing_rounds = 16
 
 let broadcast_rounds = 1

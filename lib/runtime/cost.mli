@@ -34,6 +34,12 @@ val reset : t -> unit
 val merge_into : t -> t -> unit
 (** [merge_into src dst] adds all of [src]'s phases into [dst]. *)
 
+val recovery_phase : string
+(** ["recovery"] — the phase every replayed or retried round is charged
+    to, by both [Fault.Recover]'s verify-and-retry driver and the shard
+    supervisor's round replay ({!Runtime.Make} splits the transport's
+    [recovery_rounds] delta off into it automatically). *)
+
 (** {1 Model constants and cost formulas}
 
     These are the concrete round counts the paper cites; they are defined in

@@ -184,15 +184,25 @@ module Make (T : TRANSPORT) = struct
   (* Every communication call is measured against the transport's own
      counters, so measured and charged rounds land in the same ledger. The
      mailbox context is set for the duration so delivery errors (and fault
-     schedules scoped to a phase) know where in the pipeline they fired. *)
+     schedules scoped to a phase) know where in the pipeline they fired.
+     Rounds the transport spent replaying after a worker death are split
+     off into the "recovery" ledger phase — the algorithm's own phase
+     keeps its deterministic cost, and recovery overhead stays visible. *)
   let wrap t ~op ~width ~event f =
-    let r0 = T.rounds t.tr and w0 = T.words_sent t.tr in
+    let r0 = T.rounds t.tr
+    and w0 = T.words_sent t.tr
+    and rec0 = T.recovery_rounds t.tr in
     Mailbox.set_context t.phase;
     let result =
       Fun.protect ~finally:(fun () -> Mailbox.set_context "main") f
     in
-    let rounds = T.rounds t.tr - r0 and words = T.words_sent t.tr - w0 in
-    observe t ~phase:t.phase ~rounds ~words;
+    let rounds = T.rounds t.tr - r0
+    and words = T.words_sent t.tr - w0
+    and recovered = T.recovery_rounds t.tr - rec0 in
+    let recovered = min recovered rounds in
+    observe t ~phase:t.phase ~rounds:(rounds - recovered) ~words;
+    if recovered > 0 then
+      observe t ~phase:Cost.recovery_phase ~rounds:recovered ~words:0;
     sanitize_event t ~phase:t.phase ~op ~width ~rounds ~words ~event;
     result
 

@@ -30,6 +30,56 @@ let default_shards () =
     | Some s -> ( match int_of_string_opt s with Some k when k > 0 -> k | _ -> 1)
     | None -> 1)
 
+(* ------------------------------------------------- supervision policy *)
+
+type policy = Fail | Respawn | Drain
+
+let policy_env = "CC_SHARD_POLICY"
+
+let timeout_env = "CC_SHARD_TIMEOUT"
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fail" -> Some Fail
+  | "respawn" -> Some Respawn
+  | "drain" -> Some Drain
+  | _ -> None
+
+let policy_to_string = function
+  | Fail -> "fail"
+  | Respawn -> "respawn"
+  | Drain -> "drain"
+
+let forced_policy : policy option ref = ref None
+
+let set_default_policy p = forced_policy := p
+
+(* An unrecognized CC_SHARD_POLICY value falls back to fail-stop: the
+   conservative default is the one whose behaviour a surprised operator
+   already expects from the pre-supervision transport. *)
+let default_policy () =
+  match !forced_policy with
+  | Some p -> p
+  | None -> (
+    match Sys.getenv_opt policy_env with
+    | Some s -> ( match policy_of_string s with Some p -> p | None -> Fail)
+    | None -> Fail)
+
+let forced_timeout : float option ref = ref None
+
+let set_default_timeout x = forced_timeout := x
+
+let default_timeout () =
+  match !forced_timeout with
+  | Some x -> x
+  | None -> (
+    match Sys.getenv_opt timeout_env with
+    | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some x when x > 0.0 -> x
+      | _ -> 30.0)
+    | None -> 30.0)
+
 exception Shard_down of { shard : int; round : int; during : string }
 
 let () =
@@ -53,6 +103,104 @@ let owners ~shards ~n =
     done
   done;
   tbl
+
+(* Epoch-versioned live partition, the data structure behind the drain
+   policy. Starts as the fixed [bounds] partition at epoch 1; every
+   supervision event bumps the epoch, and draining a shard merges its
+   node range into the nearest live neighbour so the concatenation of
+   live ranges always covers [0, n) contiguously — which is what lets a
+   survivor's [deliver_local] keep using a plain [Array.sub] slice. *)
+module Partition = struct
+  type t = {
+    n : int;
+    ranges : (int * int) array;
+    alive : bool array;
+    epoch : int;
+  }
+
+  let create ~shards ~n =
+    if shards < 1 then invalid_arg "Shard.Partition.create: shards < 1";
+    {
+      n;
+      ranges = Array.init shards (fun s -> bounds ~shards ~n s);
+      alive = Array.make shards true;
+      epoch = 1;
+    }
+
+  let shards t = Array.length t.ranges
+
+  let n t = t.n
+
+  let epoch t = t.epoch
+
+  let alive t s = t.alive.(s)
+
+  let bounds t s = t.ranges.(s)
+
+  let live t =
+    Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.alive
+
+  let live_list t =
+    let acc = ref [] in
+    for s = Array.length t.alive - 1 downto 0 do
+      if t.alive.(s) then acc := s :: !acc
+    done;
+    !acc
+
+  (* owners.(v) over the live ranges only. With every shard alive this is
+     exactly [owners ~shards ~n]. *)
+  let owners t =
+    let tbl = Array.make t.n (-1) in
+    Array.iteri
+      (fun s (lo, hi) ->
+        if t.alive.(s) then
+          for v = lo to hi - 1 do
+            tbl.(v) <- s
+          done)
+      t.ranges;
+    tbl
+
+  let bump t = { t with epoch = t.epoch + 1 }
+
+  (* Mark shard [d] dead and hand its node range to the nearest live
+     predecessor (extending that range upward) or, when no live shard
+     precedes it, the nearest live successor (extending downward). The
+     drained shard keeps an empty range at the new boundary, so repeated
+     drains preserve the invariant that live ranges concatenate to
+     [0, n). Epoch is bumped. Raises [Invalid_argument] if [d] is already
+     dead or if it is the last live shard — the caller must check [live]
+     and fail the session rather than drain into nothing. *)
+  let drain t d =
+    if d < 0 || d >= shards t then invalid_arg "Shard.Partition.drain: bad shard";
+    if not t.alive.(d) then invalid_arg "Shard.Partition.drain: already dead";
+    if live t <= 1 then invalid_arg "Shard.Partition.drain: no survivor";
+    let alive = Array.copy t.alive in
+    let ranges = Array.copy t.ranges in
+    alive.(d) <- false;
+    let lo, hi = ranges.(d) in
+    if hi > lo then begin
+      let pred = ref (-1) in
+      for s = d - 1 downto 0 do
+        if !pred < 0 && alive.(s) then pred := s
+      done;
+      if !pred >= 0 then begin
+        let plo, _phi = ranges.(!pred) in
+        ranges.(!pred) <- (plo, hi);
+        ranges.(d) <- (hi, hi)
+      end
+      else begin
+        let succ = ref (-1) in
+        for s = shards t - 1 downto d + 1 do
+          if alive.(s) then succ := s
+        done;
+        (* [live t > 1] guarantees a successor exists here. *)
+        let _slo, shi = ranges.(!succ) in
+        ranges.(!succ) <- (lo, shi);
+        ranges.(d) <- (lo, lo)
+      end
+    end;
+    { t with alive; ranges; epoch = t.epoch + 1 }
+end
 
 type msg = { gidx : int; src : int; dst : int; pay : int array }
 

@@ -37,6 +37,10 @@ module type S = sig
   val words_sent : t -> int
   (** Total words ever sent (message-complexity measure). *)
 
+  val recovery_rounds : t -> int
+  (** Of {!rounds}, how many were consumed replaying operations after a
+      worker death (DESIGN.md §14). Always 0 on in-process kernels. *)
+
   val exchange :
     ?width:int ->
     t ->

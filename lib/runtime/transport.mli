@@ -27,6 +27,12 @@ module type S = sig
   val words_sent : t -> int
   (** Total words ever sent (the message-complexity measure). *)
 
+  val recovery_rounds : t -> int
+  (** Of {!rounds}, how many were consumed replaying operations after a
+      worker death (DESIGN.md §14). Always 0 on in-process kernels; the
+      runtime charges these to the ["recovery"] ledger phase instead of
+      the phase the interrupted operation ran under. *)
+
   val exchange :
     ?width:int ->
     t ->

@@ -1,8 +1,10 @@
 (* Length-prefixed binary framing for per-round message batches
-   (DESIGN.md §11). One frame = a 32-byte versioned header plus an opaque
-   payload; the header carries an FNV-1a checksum of the payload so a
-   corrupt or resynchronized stream fails loudly instead of delivering
-   garbage to a deterministic algorithm. *)
+   (DESIGN.md §11, §14). One frame = a 36-byte versioned header plus an
+   opaque payload; the header carries an FNV-1a checksum of the payload so
+   a corrupt or resynchronized stream fails loudly instead of delivering
+   garbage to a deterministic algorithm, and an epoch counter so a late
+   frame from a dead incarnation of a worker is rejected instead of being
+   mistaken for current-round traffic. *)
 
 exception Malformed of { what : string }
 
@@ -14,34 +16,50 @@ let () =
 let malformed fmt =
   Printf.ksprintf (fun what -> raise (Malformed { what })) fmt
 
-let version = 1
+let version = 2
 
-let header_bytes = 32
+let header_bytes = 36
 
 (* A frame payload is at most 1 GiB: large enough for any round of the
    reproduction, small enough that a corrupt length field cannot make the
    receiver allocate the address space. *)
 let max_payload = 1 lsl 30
 
-type header = { kind : int; src : int; dst : int; seq : int; len : int; sum : int64 }
+type header = {
+  kind : int;
+  src : int;
+  dst : int;
+  seq : int;
+  epoch : int;
+  len : int;
+  sum : int64;
+}
 
-type t = { kind : int; src : int; dst : int; seq : int; payload : Bytes.t }
+type t = {
+  kind : int;
+  src : int;
+  dst : int;
+  seq : int;
+  epoch : int;
+  payload : Bytes.t;
+}
 
 (* Header layout (all little-endian):
      0..1   magic "CW"
-     2      format version (1)
+     2      format version (2)
      3      frame kind (protocol-defined, opaque here)
      4..7   source shard id   (int32; -1 = coordinator)
      8..11  destination shard id
      12..19 sequence number (the coordinator's per-session op counter)
-     20..23 payload length in bytes
-     24..31 FNV-1a 64 checksum of the payload *)
+     20..23 session epoch (bumped by every supervision event)
+     24..27 payload length in bytes
+     28..35 FNV-1a 64 checksum of the payload *)
 
 let put32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
 
 let get32 b off = Int32.to_int (Bytes.get_int32_le b off)
 
-let encode { kind; src; dst; seq; payload } =
+let encode { kind; src; dst; seq; epoch; payload } =
   let len = Bytes.length payload in
   if len > max_payload then invalid_arg "Wire.Frame.encode: payload too large";
   if kind < 0 || kind > 0xff then invalid_arg "Wire.Frame.encode: kind out of range";
@@ -53,8 +71,9 @@ let encode { kind; src; dst; seq; payload } =
   put32 b 4 src;
   put32 b 8 dst;
   Bytes.set_int64_le b 12 (Int64.of_int seq);
-  put32 b 20 len;
-  Bytes.set_int64_le b 24 (Fnv.hash_bytes payload ~pos:0 ~len);
+  put32 b 20 epoch;
+  put32 b 24 len;
+  Bytes.set_int64_le b 28 (Fnv.hash_bytes payload ~pos:0 ~len);
   Bytes.blit payload 0 b header_bytes len;
   b
 
@@ -65,15 +84,16 @@ let decode_header b =
     malformed "bad magic %C%C" (Bytes.get b 0) (Bytes.get b 1);
   let v = Char.code (Bytes.get b 2) in
   if v <> version then malformed "unsupported format version %d (want %d)" v version;
-  let len = get32 b 20 in
+  let len = get32 b 24 in
   if len < 0 || len > max_payload then malformed "payload length %d out of range" len;
   {
     kind = Char.code (Bytes.get b 3);
     src = get32 b 4;
     dst = get32 b 8;
     seq = Int64.to_int (Bytes.get_int64_le b 12);
+    epoch = get32 b 20;
     len;
-    sum = Bytes.get_int64_le b 24;
+    sum = Bytes.get_int64_le b 28;
   }
 
 let verify hdr payload =
@@ -81,7 +101,8 @@ let verify hdr payload =
   if sum <> hdr.sum then
     malformed "checksum mismatch on kind=%d frame (src=%d, dst=%d, seq=%d)"
       hdr.kind hdr.src hdr.dst hdr.seq;
-  { kind = hdr.kind; src = hdr.src; dst = hdr.dst; seq = hdr.seq; payload }
+  { kind = hdr.kind; src = hdr.src; dst = hdr.dst; seq = hdr.seq;
+    epoch = hdr.epoch; payload }
 
 let decode b =
   if Bytes.length b < header_bytes then

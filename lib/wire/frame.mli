@@ -1,21 +1,27 @@
-(** Length-prefixed binary framing (DESIGN.md §11).
+(** Length-prefixed binary framing (DESIGN.md §11, §14).
 
-    A frame is a 32-byte versioned header plus an opaque payload:
+    A frame is a 36-byte versioned header plus an opaque payload:
 
     {v
     offset  size  field
     0       2     magic "CW"
-    2       1     format version (currently 1)
+    2       1     format version (currently 2)
     3       1     frame kind (protocol-defined)
     4       4     source shard id, int32 LE (-1 = coordinator)
     8       4     destination shard id, int32 LE
     12      8     sequence number, int64 LE
-    20      4     payload length in bytes, int32 LE
-    24      8     FNV-1a 64 checksum of the payload
+    20      4     session epoch, int32 LE
+    24      4     payload length in bytes, int32 LE
+    28      8     FNV-1a 64 checksum of the payload
     v}
 
     Any header or checksum inconsistency raises {!Malformed} — a corrupt
-    or desynchronized stream never delivers silently-wrong bytes. *)
+    or desynchronized stream never delivers silently-wrong bytes. The
+    epoch field identifies the worker incarnation a frame belongs to: the
+    shard supervisor bumps it on every recovery event, and receivers
+    reject frames whose epoch does not match their current one, so a late
+    frame from a dead incarnation can never be mistaken for current-round
+    traffic. *)
 
 exception Malformed of { what : string }
 
@@ -23,7 +29,7 @@ val version : int
 (** Current wire-format version, stamped into and checked on every header. *)
 
 val header_bytes : int
-(** 32. *)
+(** 36. *)
 
 val max_payload : int
 (** Upper bound on payload length (1 GiB); both encode and decode
@@ -35,11 +41,19 @@ type header = {
   src : int;
   dst : int;
   seq : int;
+  epoch : int;
   len : int;
   sum : int64;
 }
 
-type t = { kind : int; src : int; dst : int; seq : int; payload : Bytes.t }
+type t = {
+  kind : int;
+  src : int;
+  dst : int;
+  seq : int;
+  epoch : int;
+  payload : Bytes.t;
+}
 
 val encode : t -> Bytes.t
 (** Header + payload as one byte string, checksum computed here. *)

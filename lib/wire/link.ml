@@ -5,10 +5,14 @@
 
 exception Closed of { peer : string; during : string }
 
+exception Timeout of { peer : string; after : float }
+
 let () =
   Printexc.register_printer (function
     | Closed { peer; during } ->
       Some (Printf.sprintf "Wire.Link.Closed(peer=%s, during=%s)" peer during)
+    | Timeout { peer; after } ->
+      Some (Printf.sprintf "Wire.Link.Timeout(peer=%s, after=%.3fs)" peer after)
     | _ -> None)
 
 type t = {
@@ -53,38 +57,68 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let rec write_all t b off len =
-  if len > 0 then
+(* Wait until [t.fd] is ready in the requested direction or [deadline]
+   (absolute [Unix.gettimeofday] time) passes — the bounded-wait primitive
+   behind both directions of a supervised link. [None] blocks. *)
+let await_ready ?deadline t ~read =
+  match deadline with
+  | None -> ()
+  | Some d ->
+    let rec wait () =
+      let remaining = d -. Unix.gettimeofday () in
+      if remaining <= 0.0 then raise (Timeout { peer = t.peer; after = remaining })
+      else
+        let rfds = if read then [ t.fd ] else []
+        and wfds = if read then [] else [ t.fd ] in
+        match Unix.select rfds wfds [] remaining with
+        | [], [], _ -> raise (Timeout { peer = t.peer; after = remaining })
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    in
+    wait ()
+
+let rec write_all ?deadline t b off len =
+  if len > 0 then begin
+    await_ready ?deadline t ~read:false;
     match Unix.write t.fd b off len with
     | k ->
       t.bytes_sent <- t.bytes_sent + k;
-      write_all t b (off + k) (len - k)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all t b off len
+      write_all ?deadline t b (off + k) (len - k)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      write_all ?deadline t b off len
     | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
       raise (Closed { peer = t.peer; during = "write" })
+  end
 
-let rec read_exact t b off len =
-  if len > 0 then
+(* Bounded read: before each [Unix.read], wait for readability until
+   [deadline] (absolute [Unix.gettimeofday] time). The shard supervisor
+   turns a Timeout into worker-death handling — no blocking wait in the
+   coordinator is unbounded. [deadline = None] blocks indefinitely. *)
+let rec read_exact ?deadline t b off len =
+  if len > 0 then begin
+    await_ready ?deadline t ~read:true;
     match Unix.read t.fd b off len with
     | 0 -> raise (Closed { peer = t.peer; during = "read" })
     | k ->
       t.bytes_recv <- t.bytes_recv + k;
-      read_exact t b (off + k) (len - k)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact t b off len
+      read_exact ?deadline t b (off + k) (len - k)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      read_exact ?deadline t b off len
     | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
       raise (Closed { peer = t.peer; during = "read" })
+  end
 
-let send t frame =
+let send ?deadline t frame =
   let b = Frame.encode frame in
-  write_all t b 0 (Bytes.length b);
+  write_all ?deadline t b 0 (Bytes.length b);
   t.frames_sent <- t.frames_sent + 1
 
-let recv t =
+let recv ?deadline t =
   let hdr_buf = Bytes.create Frame.header_bytes in
-  read_exact t hdr_buf 0 Frame.header_bytes;
+  read_exact ?deadline t hdr_buf 0 Frame.header_bytes;
   let hdr = Frame.decode_header hdr_buf in
   let payload = Bytes.create hdr.Frame.len in
-  read_exact t payload 0 hdr.Frame.len;
+  read_exact ?deadline t payload 0 hdr.Frame.len;
   t.frames_recv <- t.frames_recv + 1;
   Frame.verify hdr payload
 

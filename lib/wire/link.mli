@@ -8,6 +8,11 @@
 
 exception Closed of { peer : string; during : string }
 
+exception Timeout of { peer : string; after : float }
+(** A bounded {!recv} found no bytes before its deadline. The shard
+    supervisor treats this exactly like a dead peer: the link's owner is
+    presumed gone and recovery policy applies. *)
+
 type t
 
 val of_fd : ?peer:string -> Unix.file_descr -> t
@@ -17,12 +22,19 @@ val fd : t -> Unix.file_descr
 
 val peer : t -> string
 
-val send : t -> Frame.t -> unit
-(** Encode and write the whole frame (blocking). *)
+val send : ?deadline:float -> t -> Frame.t -> unit
+(** Encode and write the whole frame. With [deadline] (absolute
+    [Unix.gettimeofday] instant) every wait for writability is bounded
+    and expiry raises {!Timeout} — note a mid-frame timeout leaves the
+    stream desynchronized, so a supervised sender must treat the link as
+    dead afterwards. Without it the write blocks. *)
 
-val recv : t -> Frame.t
-(** Read exactly one frame (blocking); verifies version and checksum,
-    raising [Frame.Malformed] on a corrupt stream and {!Closed} on EOF. *)
+val recv : ?deadline:float -> t -> Frame.t
+(** Read exactly one frame; verifies version and checksum, raising
+    [Frame.Malformed] on a corrupt stream and {!Closed} on EOF. With
+    [deadline] (an absolute [Unix.gettimeofday] instant) every byte wait
+    is bounded and expiry raises {!Timeout}; without it the read blocks
+    indefinitely. *)
 
 val close : t -> unit
 (** Idempotent. *)

@@ -43,6 +43,7 @@ grep -q ' L10 ' "$out" || fail "missing L10 finding"
 grep -q ' L11 ' "$out" || fail "missing L11 finding"
 grep -q ' L12 ' "$out" || fail "missing L12 finding"
 grep -q ' L2 ' "$out" || fail "missing lexical L2 finding (fast pass not run?)"
+grep -q ' L13 ' "$out" || fail "missing L13 finding (supervision bypass)"
 grep -q 'Planted_l10.choose -> Entropy_pool.draw -> Random.int' "$out" ||
   fail "L10 chain does not name every hop"
 

@@ -107,6 +107,42 @@ let test_l7_recovery_in_charged_layer () =
     (scan ~file:"lib/euler/fake.ml"
        [ "let x = Recover.run rt f (* cc_lint: allow L7 *)" ])
 
+let test_l13_shard_down_outside_supervisor () =
+  let src =
+    [
+      "let shrug rt = try f rt with Runtime.Shard.Shard_down _ -> fallback";
+      "let reraise rt = raise (Shard.Shard_down { shard; round; during })";
+      "let fine rt = f rt";
+    ]
+  in
+  (* any lib layer outside the supervisor: both the catch and the raise
+     are flagged — only the transport may even construct the exception *)
+  check_findings "Shard_down flagged in charged layers"
+    [ (Rule.L13, 1); (Rule.L13, 2) ]
+    (scan ~file:"lib/laplacian/fake.ml" src);
+  check_findings "flagged in uncharged lib layers too"
+    [ (Rule.L13, 1); (Rule.L13, 2) ]
+    (scan ~file:"lib/linalg/fake.ml" src);
+  (* the supervisor layer and the definition site are privileged *)
+  check_findings "the socket coordinator may supervise" []
+    (scan ~file:"lib/clique/socket.ml" src);
+  check_findings "the fault drivers may supervise" []
+    (scan ~file:"lib/fault/fake.ml" src);
+  check_findings "the definition site is exempt" []
+    (scan ~file:"lib/runtime/shard.ml" src);
+  (* but the rest of lib/clique and lib/runtime is not *)
+  check_findings "sim.ml is not the supervisor"
+    [ (Rule.L13, 1); (Rule.L13, 2) ]
+    (scan ~file:"lib/clique/sim.ml" src);
+  (* harness trees assert on Shard_down freely *)
+  check_findings "tests are exempt" [] (scan ~file:"test/fake.ml" src);
+  check_findings "bench is exempt" [] (scan ~file:"bench/fake.ml" src);
+  check_findings "bin is exempt" [] (scan ~file:"bin/fake.ml" src);
+  check_findings "suppressible like every rule" []
+    (scan ~file:"lib/euler/fake.ml"
+       [ "let x = try f () with Shard.Shard_down _ -> g () (* cc_lint: \
+          allow L13 *)" ])
+
 (* ------------------------------------------------------------------ L6 *)
 
 let test_l6_missing_mli () =
@@ -279,7 +315,7 @@ let test_report_format () =
     = "lib/flow/x.ml:1 L2 ")
 
 let test_rule_catalog () =
-  Alcotest.(check int) "twelve rules" 12 (List.length Rule.all);
+  Alcotest.(check int) "thirteen rules" 13 (List.length Rule.all);
   List.iter
     (fun id ->
       Alcotest.(check (option rule_t))
@@ -289,7 +325,7 @@ let test_rule_catalog () =
   (* The catalog range is derived from Rule.all (no stale "L1-L6" strings
      anywhere): both the --rules table and the JSON header grow with the
      variant automatically. *)
-  Alcotest.(check string) "range derived from Rule.all" "L1-L12"
+  Alcotest.(check string) "range derived from Rule.all" "L1-L13"
     (Analysis.Report.rules_range ());
   Alcotest.(check int) "one table line per rule" (List.length Rule.all)
     (List.length
@@ -327,6 +363,8 @@ let lexical_suite =
     Alcotest.test_case "L6: missing mli" `Quick test_l6_missing_mli;
     Alcotest.test_case "L7: recovery in charged layer" `Quick
       test_l7_recovery_in_charged_layer;
+    Alcotest.test_case "L13: Shard_down outside the supervisor" `Quick
+      test_l13_shard_down_outside_supervisor;
     Alcotest.test_case "L8: allocation in hot-marked function" `Quick
       test_l8_hot_alloc;
     Alcotest.test_case "L8: marker is the opt-in" `Quick
@@ -597,7 +635,7 @@ let test_json_roundtrip () =
   let j = Report.to_json ~errors r.Semantic.findings in
   let s = Json.to_string j in
   Alcotest.(check bool) "schema tag embedded" true (contains s Report.schema);
-  Alcotest.(check bool) "rules span embedded" true (contains s "L1-L12");
+  Alcotest.(check bool) "rules span embedded" true (contains s "L1-L13");
   (match Json.of_string s with
   | Ok j' -> Alcotest.(check bool) "round-trips" true (Json.equal j j')
   | Error e -> Alcotest.fail ("to_json output failed to parse: " ^ e));

@@ -11,6 +11,72 @@ module Shard = Runtime.Shard
 module M = Runtime.Mailbox
 module S = Fault.Schedule
 module FSock = Fault.Inject.Make (Clique.Socket)
+module RSock = Runtime.Make (Clique.Socket)
+module Rec = Fault.Recover.Make (RSock)
+
+(* Watchdog: every supervised wait in the transport is deadline-bounded,
+   so the whole suite finishing is itself part of the contract. A stuck
+   test is a bug; SIGALRM turns it into a loud failure instead of a CI
+   timeout with no backtrace. *)
+let () =
+  Sys.set_signal Sys.sigalrm
+    (Sys.Signal_handle
+       (fun _ ->
+         prerr_endline "test_socket: watchdog expired — a wait is unbounded";
+         exit 2));
+  ignore (Unix.alarm 240)
+
+(* Diversion: spawned as a mute client, this process connects to the
+   given rendezvous and never sends a byte — the bootstrap-hang
+   regression (a pre-supervision coordinator blocked forever on it). *)
+let () =
+  match Sys.getenv_opt "CC_TEST_MUTE_CLIENT" with
+  | None -> ()
+  | Some addr ->
+    let host, port = Wire.Link.parse_addr addr in
+    let rec connect () =
+      (* A mute client must bypass Wire.Link on purpose. *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 (* cc_lint: allow L9 *) in
+      match
+        Unix.connect fd (* cc_lint: allow L9 *)
+          (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+      with
+      | () -> fd
+      | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.02;
+        connect ()
+    in
+    let _fd = connect () in
+    Unix.sleep 600;
+    exit 0
+
+(* An ephemeral TCP port for tests that must know the address before the
+   coordinator binds it (bind-then-close; the reuse race is benign at
+   test scale). *)
+let ephemeral_port () =
+  (* Probing the OS for a free port: no bytes move over these calls. *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 (* cc_lint: allow L9 *) in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) (* cc_lint: allow L9 *);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let spawn_with_env extra =
+  let env =
+    Array.append (Unix.environment ()) (Array.of_list extra)
+  in
+  Unix.create_process_env Sys.executable_name [| Sys.executable_name |] env
+    Unix.stdin Unix.stdout Unix.stderr
+
+let reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
 
 let inboxes_t = Alcotest.(array (list (pair int (array int))))
 
@@ -132,6 +198,200 @@ let test_worker_death_surfaces () =
     Alcotest.(check int) "still names the shard" 1 shard);
   Sock.close t
 
+(* ---------------------------------------------------------- kill matrix *)
+
+(* Kill shard [victim] of session [t] with SIGKILL, mid-session. *)
+let kill_shard t victim =
+  match List.nth (Sock.pids t) victim with
+  | pid when pid > 0 ->
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid)
+  | _ -> Alcotest.fail "victim shard has no local pid"
+
+(* Respawn: a SIGKILLed worker is replaced and the aborted round replayed
+   — the output is bit-identical to an undisturbed run, the replay is
+   charged to the "recovery" ledger phase, and the whole thing composes
+   with the certified verify-and-retry driver unchanged. *)
+let test_respawn_bit_identical () =
+  let n = 8 in
+  let t =
+    Sock.create ~shards:2 ~policy:Shard.Respawn ~timeout:10.0 ~backoff:0.05 n
+  in
+  let rt = RSock.create t in
+  let out = all_to_all n in
+  let reference, _ = M.deliver ~n ~width:2 out in
+  Alcotest.check inboxes_t "clean round parity" reference
+    (RSock.exchange rt out);
+  let epoch_before = Sock.epoch t in
+  kill_shard t 1;
+  (* drive the post-kill round through the certified retry driver: the
+     checker certifies the recovered output against the fault-free
+     reference, so a wrong replay cannot pass silently *)
+  let outcome =
+    Rec.run ~name:"kill-respawn" rt
+      ~check:(fun got ->
+        if got = reference then Fault.Check.Pass
+        else
+          Fault.Check.Fail
+            { invariant = "bit-identity"; counterexample = "inboxes differ" })
+      (fun () -> RSock.exchange rt out)
+  in
+  Alcotest.check inboxes_t "recovered round bit-identical" reference
+    outcome.Fault.Recover.value;
+  Alcotest.(check bool) "checker certified on the first attempt" false
+    outcome.Fault.Recover.recovered;
+  Alcotest.(check bool) "replay charged to the recovery phase" true
+    (RSock.phase_rounds rt "recovery" > 0);
+  Alcotest.(check bool) "respawn counted" true (stat "shard.respawn" t >= 1);
+  Alcotest.(check bool) "epoch bumped" true (Sock.epoch t > epoch_before);
+  Alcotest.(check int) "still two live workers" 2 (Sock.live_workers t);
+  Alcotest.(check int) "transport recovery counter matches the ledger"
+    (RSock.phase_rounds rt "recovery")
+    (Sock.recovery_rounds t);
+  (* the session keeps working at full strength afterwards *)
+  Alcotest.check inboxes_t "next round parity" reference
+    (RSock.exchange rt out);
+  let values = Array.init n (fun v -> [| v; v * v |]) in
+  Alcotest.(check (array (array int))) "broadcast parity after recovery"
+    (fst (M.broadcast ~n ~width:2 values))
+    (RSock.broadcast rt values);
+  Sock.close t
+
+(* Drain: the dead shard's range is reassigned to a survivor and the
+   session continues degraded — same outputs, fewer workers. *)
+let test_drain_continues_degraded () =
+  let n = 9 in
+  let t = Sock.create ~shards:3 ~policy:Shard.Drain ~timeout:10.0 n in
+  let out = all_to_all n in
+  let reference, _ = M.deliver ~n ~width:2 out in
+  Alcotest.check inboxes_t "clean round parity" reference (Sock.exchange t out);
+  let epoch_before = Sock.epoch t in
+  kill_shard t 1;
+  Alcotest.check inboxes_t "drained round bit-identical" reference
+    (Sock.exchange t out);
+  Alcotest.(check int) "one shard drained" 1 (stat "shard.drain" t);
+  Alcotest.(check int) "two survivors" 2 (Sock.live_workers t);
+  Alcotest.(check bool) "epoch bumped" true (Sock.epoch t > epoch_before);
+  Alcotest.(check bool) "replay counted as recovery" true
+    (Sock.recovery_rounds t >= 1);
+  (* degraded but fully functional: exchange, broadcast, width errors *)
+  Alcotest.check inboxes_t "next degraded round parity" reference
+    (Sock.exchange t out);
+  let values = Array.init n (fun v -> [| v; v + 1 |]) in
+  Alcotest.(check (array (array int))) "degraded broadcast parity"
+    (fst (M.broadcast ~n ~width:2 values))
+    (Sock.broadcast t values);
+  let bad = Array.make n [] in
+  bad.(1) <- [ (5, [| 1; 2; 3 |]) ];
+  Alcotest.(check string) "degraded width error identical"
+    (capture (fun () -> M.deliver ~n ~width:2 bad))
+    (capture (fun () -> Sock.exchange t bad));
+  Sock.close t
+
+(* Draining down to a single survivor still works; killing the last one
+   has nowhere left to go and fails structurally. *)
+let test_drain_exhaustion_fails () =
+  let n = 6 in
+  let t = Sock.create ~shards:2 ~policy:Shard.Drain ~timeout:10.0 n in
+  let out = all_to_all n in
+  let reference, _ = M.deliver ~n ~width:2 out in
+  kill_shard t 0;
+  Alcotest.check inboxes_t "single survivor delivers" reference
+    (Sock.exchange t out);
+  Alcotest.(check int) "one live worker" 1 (Sock.live_workers t);
+  kill_shard t 1;
+  (match Sock.exchange t out with
+  | _ -> Alcotest.fail "no survivor left: must raise"
+  | exception Shard.Shard_down { during; _ } ->
+    Alcotest.(check string) "down during the exchange" "exchange" during);
+  Sock.close t
+
+(* ------------------------------------------------------------ heartbeat *)
+
+let test_heartbeat_probes_and_recovers () =
+  let n = 6 in
+  let t =
+    Sock.create ~shards:2 ~policy:Shard.Respawn ~timeout:10.0 ~backoff:0.05 n
+  in
+  Sock.heartbeat t;
+  Alcotest.(check int) "both workers probed" 2 (stat "shard.heartbeat.sent" t);
+  Alcotest.(check int) "both acked" 2 (stat "shard.heartbeat.acked" t);
+  Alcotest.(check int) "none missed" 0 (stat "shard.heartbeat.missed" t);
+  let rounds_before = Sock.rounds t in
+  kill_shard t 0;
+  Sock.heartbeat t;
+  Alcotest.(check bool) "missed heartbeat detected" true
+    (stat "shard.heartbeat.missed" t >= 1);
+  Alcotest.(check bool) "dead worker respawned" true
+    (stat "shard.respawn" t >= 1);
+  Alcotest.(check int) "idle recovery charges no round" rounds_before
+    (Sock.rounds t);
+  Alcotest.(check int) "and no recovery round" 0 (Sock.recovery_rounds t);
+  let out = all_to_all n in
+  let reference, _ = M.deliver ~n ~width:2 out in
+  Alcotest.check inboxes_t "session intact after heartbeat recovery"
+    reference (Sock.exchange t out);
+  Sock.close t
+
+(* ---------------------------------------------------- bootstrap bounds *)
+
+(* The bootstrap-hang regression: a client that connects to the
+   rendezvous but never sends its hello. The coordinator must give up at
+   the timeout with a structured round-0 Shard_down — before supervision
+   it blocked forever in the hello read. *)
+let test_mute_client_bootstrap_timeout () =
+  let port = ephemeral_port () in
+  let addr = Printf.sprintf "127.0.0.1:%d" port in
+  let mute = spawn_with_env [ "CC_TEST_MUTE_CLIENT=" ^ addr ] in
+  Fun.protect
+    ~finally:(fun () -> reap mute)
+    (fun () ->
+      (* one reserved remote slot that never joins: the mute connection is
+         the only rendezvous traffic, so the hello wait must expire *)
+      let t0 = Unix.gettimeofday () in
+      match Sock.create ~shards:2 ~remote:1 ~addr ~timeout:2.0 6 with
+      | t ->
+        Sock.close t;
+        Alcotest.fail "bootstrap must not succeed without the remote worker"
+      | exception Shard.Shard_down { round; during; _ } ->
+        Alcotest.(check string) "failed in the hello rendezvous" "hello"
+          during;
+        Alcotest.(check int) "at round zero" 0 round;
+        Alcotest.(check bool) "after the timeout, not immediately" true
+          (Unix.gettimeofday () -. t0 >= 1.5);
+        Alcotest.(check bool) "bounded well under the watchdog" true
+          (Unix.gettimeofday () -. t0 < 30.0))
+
+(* ------------------------------------------------------- remote workers *)
+
+(* A remote worker is any process dialing the TCP rendezvous: here the
+   test binary itself, diverted by CC_SHARD_REMOTE_WORKER exactly as
+   bin/cc_worker would. One of the two shards runs in that process; the
+   session must behave identically to an all-local one. *)
+let test_remote_worker_joins () =
+  let port = ephemeral_port () in
+  let addr = Printf.sprintf "127.0.0.1:%d" port in
+  let remote =
+    spawn_with_env [ "CC_SHARD_REMOTE_WORKER=tcp:" ^ addr ]
+  in
+  Fun.protect
+    ~finally:(fun () -> reap remote)
+    (fun () ->
+      let n = 8 in
+      let t = Sock.create ~shards:2 ~remote:1 ~addr ~timeout:10.0 n in
+      Alcotest.(check (list int)) "remote slot has no local pid"
+        [ -1 ]
+        (List.filteri (fun i _ -> i = 1) (Sock.pids t));
+      let out = all_to_all n in
+      let expected, _ = M.deliver ~n ~width:2 out in
+      Alcotest.check inboxes_t "mixed local/remote parity" expected
+        (Sock.exchange t out);
+      let values = Array.init n (fun v -> [| v; v * 3 |]) in
+      Alcotest.(check (array (array int))) "mixed broadcast parity"
+        (fst (M.broadcast ~n ~width:2 values))
+        (Sock.broadcast t values);
+      Sock.close t)
+
 (* ------------------------------------------------------------- tcp leg *)
 
 let test_tcp_leg () =
@@ -235,6 +495,21 @@ let () =
             `Quick test_width_error_across_processes;
           Alcotest.test_case "worker death surfaces as Shard_down" `Quick
             test_worker_death_surfaces;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "respawn: certified bit-identical recovery"
+            `Quick test_respawn_bit_identical;
+          Alcotest.test_case "drain: degraded continuation" `Quick
+            test_drain_continues_degraded;
+          Alcotest.test_case "drain: last survivor fails structurally" `Quick
+            test_drain_exhaustion_fails;
+          Alcotest.test_case "heartbeat probes and recovers" `Quick
+            test_heartbeat_probes_and_recovers;
+          Alcotest.test_case "mute client cannot hang bootstrap" `Quick
+            test_mute_client_bootstrap_timeout;
+          Alcotest.test_case "remote worker joins the rendezvous" `Quick
+            test_remote_worker_joins;
         ] );
       ( "transports",
         [

@@ -11,14 +11,14 @@ module Shard = Runtime.Shard
 module M = Runtime.Mailbox
 
 let frame_fields (f : Frame.t) =
-  (f.Frame.kind, f.Frame.src, f.Frame.dst, f.Frame.seq,
+  (f.Frame.kind, f.Frame.src, f.Frame.dst, f.Frame.seq, f.Frame.epoch,
    Bytes.to_string f.Frame.payload)
 
 (* ------------------------------------------------------------- framing *)
 
 let test_frame_round_trip_exact () =
   let f =
-    { Frame.kind = 3; src = -1; dst = 7; seq = 123456789;
+    { Frame.kind = 3; src = -1; dst = 7; seq = 123456789; epoch = 5;
       payload = Bytes.of_string "some payload bytes" }
   in
   let b = Frame.encode f in
@@ -29,7 +29,8 @@ let test_frame_round_trip_exact () =
   Alcotest.(check (pair (pair int int) (pair int string)))
     "fields survive" ((3, -1), (7, "some payload bytes"))
     ((g.Frame.kind, g.Frame.src), (g.Frame.dst, Bytes.to_string g.Frame.payload));
-  Alcotest.(check int) "seq survives" 123456789 g.Frame.seq
+  Alcotest.(check int) "seq survives" 123456789 g.Frame.seq;
+  Alcotest.(check int) "epoch survives" 5 g.Frame.epoch
 
 let expect_malformed what f =
   Alcotest.(check bool) what true
@@ -39,17 +40,17 @@ let expect_malformed what f =
 
 (* Every byte of the magic, version, length, and checksum fields — and of
    the payload — is load-bearing: flipping it must raise Malformed. (The
-   kind/src/dst/seq fields are not self-checked; the payload checksum is
-   the integrity boundary.) *)
+   kind/src/dst/seq/epoch fields are not self-checked; the payload
+   checksum is the integrity boundary.) *)
 let test_frame_corruption_detected () =
   let f =
-    { Frame.kind = 5; src = 2; dst = 0; seq = 42;
+    { Frame.kind = 5; src = 2; dst = 0; seq = 42; epoch = 1;
       payload = Bytes.of_string "abcdefgh" }
   in
   let b = Frame.encode f in
   let checked =
     [ 0; 1; 2 ]
-    @ List.init 12 (fun i -> 20 + i)
+    @ List.init 12 (fun i -> 24 + i)
     @ List.init (Bytes.length b - Frame.header_bytes) (fun i ->
           Frame.header_bytes + i)
   in
@@ -64,7 +65,7 @@ let test_frame_corruption_detected () =
 
 let test_frame_truncation_detected () =
   let f =
-    { Frame.kind = 1; src = 0; dst = 1; seq = 7;
+    { Frame.kind = 1; src = 0; dst = 1; seq = 7; epoch = 1;
       payload = Bytes.of_string "0123456789" }
   in
   let b = Frame.encode f in
@@ -105,7 +106,7 @@ let qcheck_frame_tests =
       (fun (kind, src, seq, payload) ->
         let f =
           { Frame.kind; src; dst = (src + 5) mod 62; seq;
-            payload = Bytes.of_string payload }
+            epoch = seq mod 97; payload = Bytes.of_string payload }
         in
         frame_fields (Frame.decode (Frame.encode f)) = frame_fields f);
     Test.make ~name:"writer/reader codec round-trips" ~count:200
@@ -134,7 +135,7 @@ let qcheck_frame_tests =
 
 let send_recv what a b =
   let f =
-    { Frame.kind = 2; src = 0; dst = 1; seq = 11;
+    { Frame.kind = 2; src = 0; dst = 1; seq = 11; epoch = 1;
       payload = Bytes.of_string "across the wire" }
   in
   Link.send a f;
@@ -164,6 +165,27 @@ let test_link_tcp () =
   Link.close b;
   try Unix.close lsock with Unix.Unix_error _ -> ()
 
+(* A bounded recv on a silent link raises Timeout at the deadline instead
+   of blocking — the primitive every supervised wait builds on. *)
+let test_link_recv_deadline () =
+  let a, b = Link.pair ~peer:"deadline" () in
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check bool) "silent peer times out" true
+    (match Link.recv ~deadline:(t0 +. 0.05) b with
+    | _ -> false
+    | exception Link.Timeout _ -> true);
+  Alcotest.(check bool) "deadline respected" true
+    (Unix.gettimeofday () -. t0 >= 0.05);
+  (* a deadline in the future does not disturb a normal receive *)
+  Link.send a
+    { Frame.kind = 2; src = 0; dst = 1; seq = 1; epoch = 1;
+      payload = Bytes.of_string "late but present" };
+  let g = Link.recv ~deadline:(Unix.gettimeofday () +. 5.0) b in
+  Alcotest.(check string) "frame still delivered" "late but present"
+    (Bytes.to_string g.Frame.payload);
+  Link.close a;
+  Link.close b
+
 (* ------------------------------------------------- shard partitioning *)
 
 let owners_consistent ~shards ~n =
@@ -181,6 +203,138 @@ let test_owners () =
   List.iter
     (fun (shards, n) -> owners_consistent ~shards ~n)
     [ (1, 5); (2, 8); (3, 10); (4, 4); (4, 23) ]
+
+(* The edge cases the drain reassignment logic leans on: ranges are
+   monotone and concatenate to [0, n) for every shard count, including
+   n = 0 (all empty) and n < shards (exactly n singletons). *)
+let test_bounds_edge_cases () =
+  List.iter
+    (fun (shards, n) ->
+      let cursor = ref 0 in
+      for s = 0 to shards - 1 do
+        let lo, hi = Shard.bounds ~shards ~n s in
+        Alcotest.(check int)
+          (Printf.sprintf "contiguous at shard %d (k=%d, n=%d)" s shards n)
+          !cursor lo;
+        Alcotest.(check bool) "non-negative range" true (hi >= lo);
+        cursor := hi
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "ranges cover [0,n) (k=%d, n=%d)" shards n)
+        n !cursor;
+      let owner = Shard.owners ~shards ~n in
+      Alcotest.(check int) "owners length" n (Array.length owner))
+    [ (1, 0); (4, 0); (3, 2); (8, 3); (5, 5); (7, 100) ];
+  (* n < shards: exactly n singleton ranges, the rest empty *)
+  let shards = 8 and n = 3 in
+  let singletons = ref 0 in
+  for s = 0 to shards - 1 do
+    let lo, hi = Shard.bounds ~shards ~n s in
+    if hi > lo then begin
+      Alcotest.(check int) "singleton range" 1 (hi - lo);
+      incr singletons
+    end
+  done;
+  Alcotest.(check int) "exactly n singletons" n !singletons;
+  (* every owner is one of the singleton shards, in ascending order *)
+  let owner = Shard.owners ~shards ~n in
+  Array.iteri
+    (fun v s ->
+      let lo, hi = Shard.bounds ~shards ~n s in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "node %d sits in its owner's range" v)
+        (v, v + 1) (lo, hi))
+    owner;
+  Alcotest.(check bool) "owners ascend" true
+    (owner.(0) < owner.(1) && owner.(1) < owner.(2))
+
+(* The epoch-versioned live partition behind the Drain policy. *)
+let test_partition_drain () =
+  let p = Shard.Partition.create ~shards:4 ~n:20 in
+  Alcotest.(check int) "starts at epoch 1" 1 (Shard.Partition.epoch p);
+  Alcotest.(check int) "all live" 4 (Shard.Partition.live p);
+  Alcotest.(check (array int)) "owners match the static partition"
+    (Shard.owners ~shards:4 ~n:20)
+    (Shard.Partition.owners p);
+  (* drain a middle shard: its range merges into the live predecessor *)
+  let p1 = Shard.Partition.drain p 2 in
+  Alcotest.(check int) "epoch bumped" 2 (Shard.Partition.epoch p1);
+  Alcotest.(check int) "one fewer live" 3 (Shard.Partition.live p1);
+  Alcotest.(check bool) "shard 2 dead" false (Shard.Partition.alive p1 2);
+  let lo1, hi1 = Shard.Partition.bounds p1 1 in
+  let _, hi2_old = Shard.Partition.bounds p 2 in
+  Alcotest.(check (pair int int)) "predecessor absorbs the range"
+    (fst (Shard.Partition.bounds p 1), hi2_old)
+    (lo1, hi1);
+  let d2lo, d2hi = Shard.Partition.bounds p1 2 in
+  Alcotest.(check int) "drained range empty" 0 (d2hi - d2lo);
+  (* live ranges still concatenate to [0, n) *)
+  let covered =
+    List.fold_left
+      (fun acc s ->
+        let lo, hi = Shard.Partition.bounds p1 s in
+        acc + (hi - lo))
+      0
+      (Shard.Partition.live_list p1)
+  in
+  Alcotest.(check int) "live ranges cover every node" 20 covered;
+  Array.iteri
+    (fun v s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "owner of %d is live" v)
+        true
+        (Shard.Partition.alive p1 s))
+    (Shard.Partition.owners p1);
+  (* draining shard 0 merges forward into the live successor *)
+  let p2 = Shard.Partition.drain p1 0 in
+  let lo, _ = Shard.Partition.bounds p2 1 in
+  Alcotest.(check int) "successor absorbs a head drain" 0 lo;
+  (* double drain and the last-survivor guard are rejected *)
+  Alcotest.(check bool) "double drain rejected" true
+    (match Shard.Partition.drain p2 0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let p3 = Shard.Partition.drain p2 3 in
+  Alcotest.(check int) "one survivor left" 1 (Shard.Partition.live p3);
+  Alcotest.(check (pair int int)) "survivor owns everything" (0, 20)
+    (Shard.Partition.bounds p3 1);
+  Alcotest.(check bool) "last survivor cannot drain" true
+    (match Shard.Partition.drain p3 1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* bump only moves the epoch *)
+  let b = Shard.Partition.bump p3 in
+  Alcotest.(check int) "bump increments epoch"
+    (Shard.Partition.epoch p3 + 1)
+    (Shard.Partition.epoch b);
+  Alcotest.(check int) "bump preserves live count" 1 (Shard.Partition.live b)
+
+(* n < shards leaves some shards empty from the start; draining an empty
+   shard and draining around empties must keep the cover exact. *)
+let test_partition_drain_empty_ranges () =
+  let p = Shard.Partition.create ~shards:5 ~n:3 in
+  (* with n=3 over 5 shards, shard 0 is empty (owners are a subset) *)
+  let e0lo, e0hi = Shard.Partition.bounds p 0 in
+  Alcotest.(check int) "shard 0 starts empty" 0 (e0hi - e0lo);
+  let p1 = Shard.Partition.drain p 0 in
+  (* empty shard drained: nothing to merge, cover unchanged *)
+  Alcotest.(check (array int)) "owners unchanged by empty drain"
+    (Shard.Partition.owners p) (Shard.Partition.owners p1);
+  let p2 = Shard.Partition.drain p1 1 in
+  let covered =
+    List.fold_left
+      (fun acc s ->
+        let lo, hi = Shard.Partition.bounds p2 s in
+        acc + (hi - lo))
+      0
+      (Shard.Partition.live_list p2)
+  in
+  Alcotest.(check int) "cover exact after singleton drain" 3 covered;
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "every owner live" true
+        (Shard.Partition.alive p2 s))
+    (Shard.Partition.owners p2)
 
 (* A deterministic mixed workload with cross-shard traffic, repeated
    pairs, self-messages, and empty outboxes. *)
@@ -335,7 +489,12 @@ let suite =
     Alcotest.test_case "fnv pinned vectors" `Quick test_fnv_pinned;
     Alcotest.test_case "link over socketpair" `Quick test_link_socketpair;
     Alcotest.test_case "link over tcp" `Quick test_link_tcp;
+    Alcotest.test_case "link recv deadline" `Quick test_link_recv_deadline;
     Alcotest.test_case "shard owners/bounds" `Quick test_owners;
+    Alcotest.test_case "bounds edge cases" `Quick test_bounds_edge_cases;
+    Alcotest.test_case "partition drain" `Quick test_partition_drain;
+    Alcotest.test_case "partition drain (empty ranges)" `Quick
+      test_partition_drain_empty_ranges;
     Alcotest.test_case "split_exchange structure" `Quick test_split_exchange;
     Alcotest.test_case "split errors match mailbox" `Quick
       test_split_errors_match_mailbox;
