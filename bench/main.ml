@@ -1228,6 +1228,235 @@ let e12_resilience () =
       { s_name = "kill-drain"; s_seed = 0L; s_rows = drain_rows };
     ]
 
+(* ------------------------------------------------------------------ E13 *)
+
+(* Throughput service (DESIGN.md section 15): the cc_serve daemon driven
+   in-process over a Unix-domain socket. Three series:
+   - "naive": every request carries nocache, so the daemon re-prepares the
+     sparsifier + kappa estimate per request (the per-request baseline);
+   - "batched": the same requests against the artifact cache — one miss
+     builds the prepared handle, every later request reuses it. Rows
+     assert identical solution fingerprints across both paths and a
+     >= 2x jobs/sec speedup for the cache-hit path (the PR gate);
+   - "zero-alloc": Gc.minor_words deltas around the workspace CG and
+     Chebyshev kernels — 20 extra steady-state iterations must allocate
+     exactly zero words (native backend).
+   The rounds subtree (the bench_diff hard gate) carries the solver's
+   charged rounds, which the prepared path replays bit-identically;
+   jobs/sec and latency percentiles land in stats (informational). *)
+
+(* (n, requests per series) *)
+let e13_sizes = sizes ~full:[ (40, 40); (80, 24) ] ~reduced:[ (40, 12) ]
+
+let e13_percentile sorted p =
+  let len = Array.length sorted in
+  if len = 0 then 0.
+  else sorted.(min (len - 1) (int_of_float (p *. float_of_int (len - 1))))
+
+let e13_request client body =
+  let t0 = Unix.gettimeofday () in
+  let reply =
+    Serve.Client.request_string
+      ~deadline:(Unix.gettimeofday () +. 60.)
+      client body
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  if not (Serve.Client.ok reply) then
+    failwith
+      (Option.value
+         (Serve.Client.error_message reply)
+         ~default:"cc_serve refused a bench request");
+  (reply, dt)
+
+let e13_field path reply =
+  let rec go j = function
+    | [] -> Some j
+    | k :: rest -> (
+      match J.member k j with Some v -> go v rest | None -> None)
+  in
+  go reply path
+
+let e13_str path reply =
+  match e13_field path reply with Some (J.String s) -> s | _ -> ""
+
+let e13_int path reply =
+  match e13_field path reply with
+  | Some v -> Option.value (J.to_int_opt v) ~default:(-1)
+  | None -> -1
+
+let e13_solve_body ~id ~n ~nocache =
+  Printf.sprintf
+    {|{"id":%d,"kind":"solve","graph":{"gen":"connected_gnp","n":%d,"p":0.25,"seed":7}%s}|}
+    id n
+    (if nocache then {|,"nocache":true|} else "")
+
+(* Run [requests] identical solves and return (fnv, rounds, jobs/sec,
+   latencies). [warm] sends one untimed request first — for the batched
+   series it is the cache miss that builds the prepared handle, leaving
+   the timed window pure cache-hit. *)
+let e13_run client ~n ~requests ~nocache ~warm =
+  if warm then ignore (e13_request client (e13_solve_body ~id:0 ~n ~nocache));
+  let lat = Array.make requests 0. in
+  let fnv = ref "" and rounds = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to requests - 1 do
+    let reply, dt =
+      e13_request client (e13_solve_body ~id:(i + 1) ~n ~nocache)
+    in
+    lat.(i) <- dt *. 1000.;
+    let f = e13_str [ "result"; "x_fnv" ] reply in
+    if !fnv = "" then fnv := f
+    else assert (!fnv = f) (* every reply bit-identical *);
+    rounds := e13_int [ "result"; "rounds" ] reply
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.sort compare lat;
+  (!fnv, !rounds, float_of_int requests /. elapsed, lat)
+
+let e13_minor_words_per_extra_iteration () =
+  (* Delta-of-deltas: iterations 5 -> 25 of each workspace kernel must
+     allocate the same number of minor words, i.e. the steady-state loop
+     is allocation-free. Meaningful on the native backend only. *)
+  let g = Gen.connected_gnp ~seed:21L 60 0.15 in
+  let l = Graph.laplacian g in
+  let b =
+    Linalg.Vec.center
+      (Linalg.Vec.init 60 (fun i -> float_of_int ((i * 7) mod 11) -. 5.))
+  in
+  let cg_ws = Linalg.Cg.Workspace.create 60 in
+  let apply_into src dst = Linalg.Csr.mul_vec_into l src dst in
+  let run_cg k =
+    ignore (Linalg.Cg.solve_into ~max_iters:k ~tol:0. cg_ws apply_into b)
+  in
+  let ch_ws = Linalg.Chebyshev.Workspace.create 60 in
+  let solve_b_into src dst = Linalg.Vec.scale_into 0.125 src dst in
+  let run_ch k =
+    ignore
+      (Linalg.Chebyshev.solve_into ~max_iters:k ~tol:0.
+         ~apply_a_into:apply_into ~solve_b_into ~kappa:64. ch_ws b)
+  in
+  let delta f =
+    let w0 = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. w0
+  in
+  run_cg 2;
+  run_ch 2;
+  let cg = (delta (fun () -> run_cg 25) -. delta (fun () -> run_cg 5)) /. 20. in
+  let ch = (delta (fun () -> run_ch 25) -. delta (fun () -> run_ch 5)) /. 20. in
+  (cg, ch)
+
+let e13_throughput () =
+  header
+    "E13 | throughput service - batched cc_serve scheduler vs per-request \
+     preparation, zero-alloc solver kernels";
+  let reg = Metrics.create () in
+  Printf.printf "%9s %6s %6s %10s %10s %10s %9s\n" "series" "n" "jobs"
+    "jobs/sec" "p50 ms" "p99 ms" "speedup";
+  let daemon_rows =
+    List.map
+      (fun (n, requests) ->
+        let config =
+          {
+            Serve.Daemon.addr =
+              Printf.sprintf "unix:/tmp/cc-bench-e13-%d-%d.sock"
+                (Unix.getpid ()) n;
+            jobs = 2;
+            cache_cap = 16;
+            policy = Serve.Exec.Off;
+            max_bytes = 8 * 1024 * 1024;
+          }
+        in
+        let t = Serve.Daemon.start config in
+        let client = Serve.Client.connect (Serve.Daemon.addr t) in
+        let naive_fnv, naive_rounds, naive_jps, naive_lat =
+          e13_run client ~n ~requests ~nocache:true ~warm:false
+        in
+        let hit_fnv, hit_rounds, hit_jps, hit_lat =
+          e13_run client ~n ~requests ~nocache:false ~warm:true
+        in
+        Serve.Client.close client;
+        Serve.Daemon.stop t;
+        Serve.Daemon.wait t;
+        let speedup = hit_jps /. naive_jps in
+        (* The PR gate: amortizing preparation across requests must pay at
+           least 2x; bit-identity across both paths is non-negotiable. *)
+        assert (naive_fnv = hit_fnv);
+        assert (naive_rounds = hit_rounds);
+        assert (speedup >= 2.);
+        let print_series name jps lat speedup_str =
+          Printf.printf "%9s %6d %6d %10.1f %10.3f %10.3f %9s\n" name n
+            requests jps
+            (e13_percentile lat 0.5)
+            (e13_percentile lat 0.99)
+            speedup_str
+        in
+        print_series "naive" naive_jps naive_lat "";
+        print_series "batched" hit_jps hit_lat
+          (Printf.sprintf "%.1fx" speedup);
+        let mk name jps lat extra =
+          row reg
+            ~key:(Printf.sprintf "%s n=%d jobs=%d" name n requests)
+            ~params:[ ("n", J.Int n); ("requests", J.Int requests) ]
+            ~stats:
+              ([
+                 ("jobs_per_sec", J.Float jps);
+                 ("p50_ms", J.Float (e13_percentile lat 0.5));
+                 ("p99_ms", J.Float (e13_percentile lat 0.99));
+                 ("x_fnv", J.String naive_fnv);
+               ]
+              @ extra)
+            ~rounds:naive_rounds
+            ~phases:[ ("chebyshev", naive_rounds) ]
+            ()
+        in
+        ( mk "naive" naive_jps naive_lat [],
+          mk "batched" hit_jps hit_lat
+            [ ("speedup_vs_naive", J.Float speedup) ] ))
+      e13_sizes
+  in
+  let naive_rows = List.map fst daemon_rows in
+  let batched_rows = List.map snd daemon_rows in
+  let cg_words, ch_words = e13_minor_words_per_extra_iteration () in
+  let native = Sys.backend_type = Sys.Native in
+  if native then begin
+    assert (cg_words = 0.);
+    assert (ch_words = 0.)
+  end;
+  Printf.printf
+    "zero-alloc: %.1f words/extra CG iteration, %.1f words/extra Chebyshev \
+     iteration%s\n"
+    cg_words ch_words
+    (if native then " (asserted zero)" else " (bytecode, not asserted)");
+  let zero_alloc_rows =
+    [
+      row reg ~key:"cg-chebyshev n=60"
+        ~params:[ ("n", J.Int 60) ]
+        ~stats:
+          [
+            ("cg_words_per_iter", J.Float cg_words);
+            ("chebyshev_words_per_iter", J.Float ch_words);
+            ("asserted", J.Bool native);
+          ]
+        ~rounds:0 ~phases:[] ();
+    ]
+  in
+  experiment ~id:"E13"
+    ~title:
+      "throughput service - batched solve scheduler vs per-request \
+       preparation"
+    ~note:
+      "naive re-prepares sparsifier+kappa per request (nocache); batched \
+       reuses the cached prepared handle; rows assert bit-identical \
+       solution fingerprints, identical charged rounds, >= 2x jobs/sec, \
+       and zero minor-words per steady-state solver iteration"
+    reg
+    [
+      { s_name = "naive"; s_seed = 7L; s_rows = naive_rows };
+      { s_name = "batched"; s_seed = 7L; s_rows = batched_rows };
+      { s_name = "zero-alloc"; s_seed = 0L; s_rows = zero_alloc_rows };
+    ]
+
 (* -------------------------------------------------- Bechamel wall-clock *)
 
 let wall_clock () =
@@ -1386,7 +1615,10 @@ let () =
   let x10 = e10_sharded () in
   let x11 = e11_models () in
   let x12 = e12_resilience () in
-  let experiments = [ x1; x2; x3; x4; x5; x6; x7; x8; x9; x10; x11; x12 ] in
+  let x13 = e13_throughput () in
+  let experiments =
+    [ x1; x2; x3; x4; x5; x6; x7; x8; x9; x10; x11; x12; x13 ]
+  in
   let wall = wall_clock () in
   (* E9 headline: arena-vs-legacy speedup at the largest size measured. *)
   let biggest = List.fold_left max 0 e9_sizes in

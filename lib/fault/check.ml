@@ -233,6 +233,90 @@ let eulerian g orientation =
         !bad);
     ]
 
+(* ---------------------------------------------------------------- MST *)
+
+let mst ?(tol = 1e-9) g ~weight edges =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri = rj then false
+    else begin
+      parent.(ri) <- rj;
+      true
+    end
+  in
+  all
+    [
+      (fun () ->
+        let seen = Array.make (max m 1) false in
+        let bad = ref Pass in
+        List.iter
+          (fun id ->
+            if !bad = Pass then
+              if id < 0 || id >= m then
+                fail "shape" "edge id %d out of range for %d edges" id m
+                |> fun f -> bad := f
+              else if seen.(id) then
+                fail "shape" "edge id %d listed twice" id |> fun f ->
+                bad := f
+              else seen.(id) <- true)
+          edges;
+        !bad);
+      (fun () ->
+        (* Acyclic: every tree edge must join two distinct components. *)
+        let bad = ref Pass in
+        List.iter
+          (fun id ->
+            if !bad = Pass then
+              let e = Graph.edge g id in
+              if not (union e.Graph.u e.Graph.v) then
+                bad :=
+                  fail "acyclic" "edge %d = (%d,%d) closes a cycle" id
+                    e.Graph.u e.Graph.v)
+          edges;
+        !bad);
+      (fun () ->
+        (* Spanning: the forest connects everything the input connects —
+           after the unions above, no graph edge may still cross two
+           different forest components. *)
+        let bad = ref Pass in
+        Array.iteri
+          (fun id (e : Graph.edge) ->
+            if !bad = Pass && find e.u <> find e.v then
+              bad :=
+                fail "spanning"
+                  "graph edge %d = (%d,%d) crosses two forest components"
+                  id e.u e.v)
+          (Graph.edges g);
+        !bad);
+      (fun () ->
+        let sum =
+          List.fold_left
+            (fun acc id -> acc +. (Graph.edge g id).Graph.w)
+            0. edges
+        in
+        if Float.abs (sum -. weight) > tol then
+          fail "weight" "edges sum to %g, claimed weight is %g" sum weight
+        else Pass);
+      (fun () ->
+        (* Cut optimality via an independent oracle: the minimum spanning
+           forest weight is unique even when the edge set is not, so a
+           Kruskal re-derivation certifies optimality. *)
+        let optimal =
+          List.fold_left
+            (fun acc id -> acc +. (Graph.edge g id).Graph.w)
+            0. (Clique.Boruvka.kruskal g)
+        in
+        if weight > optimal +. tol then
+          fail "optimality"
+            "claimed weight %g exceeds the optimal forest weight %g" weight
+            optimal
+        else Pass);
+    ]
+
 (* ------------------------------------------------------ solver residual *)
 
 let solver_residual ?(eps = 1e-4) g ~b x =

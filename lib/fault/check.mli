@@ -44,6 +44,13 @@ val mcf :
 val eulerian : Graph.t -> bool array -> verdict
 (** Per-edge orientation bits: in-degree equals out-degree everywhere. *)
 
+val mst : ?tol:float -> Graph.t -> weight:float -> int list -> verdict
+(** [mst g ~weight edges]: the edge-id list is duplicate-free and in range,
+    acyclic, spans every connected component of [g], sums to the claimed
+    [weight], and that weight is optimal (certified against an independent
+    Kruskal re-derivation — the minimum spanning forest weight is unique
+    even when the edge set is not). [tol] defaults to [1e-9]. *)
+
 val solver_residual : ?eps:float -> Graph.t -> b:float array -> float array -> verdict
 (** [‖Lx − b‖ ≤ eps·‖b‖] with [L] applied edge-wise ([eps] defaults to
     1e-4, matching the solver's default target). *)

@@ -71,16 +71,26 @@ let laplacian_dense g =
     g.edges;
   d
 
+(* cc_lint: hot apply_laplacian_into *)
+let apply_laplacian_into g x y =
+  if Array.length x <> g.n then
+    invalid_arg "Graph.apply_laplacian_into: dimension mismatch";
+  if Array.length y <> g.n then
+    invalid_arg "Graph.apply_laplacian_into: output dimension mismatch";
+  Linalg.Vec.fill y 0.;
+  let edges = g.edges in
+  for i = 0 to Array.length edges - 1 do
+    let e = edges.(i) in
+    let d = e.w *. (x.(e.u) -. x.(e.v)) in
+    y.(e.u) <- y.(e.u) +. d;
+    y.(e.v) <- y.(e.v) -. d
+  done
+
 let apply_laplacian g x =
   if Array.length x <> g.n then
     invalid_arg "Graph.apply_laplacian: dimension mismatch";
   let y = Linalg.Vec.create g.n in
-  Array.iter
-    (fun e ->
-      let d = e.w *. (x.(e.u) -. x.(e.v)) in
-      y.(e.u) <- y.(e.u) +. d;
-      y.(e.v) <- y.(e.v) -. d)
-    g.edges;
+  apply_laplacian_into g x y;
   y
 
 let quadratic_form g x =

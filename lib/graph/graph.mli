@@ -49,6 +49,11 @@ val apply_laplacian : t -> Linalg.Vec.t -> Linalg.Vec.t
 (** [apply_laplacian g x] is [L_G x] computed edge-by-edge without
     materializing [L] — the one-round matvec of the clique model. *)
 
+val apply_laplacian_into : t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
+(** [apply_laplacian_into g x y] sets [y <- L_G x] without allocating
+    ([y] must not alias [x]); the [apply_into] operator shape consumed by
+    {!Linalg.Cg.solve_into} and {!Linalg.Chebyshev.solve_into}. *)
+
 val quadratic_form : t -> Linalg.Vec.t -> float
 (** [quadratic_form g x = xᵀ L_G x = Σ_e w_e (x_u − x_v)²]. *)
 

@@ -131,6 +131,162 @@ let solve_with_sparsifier ?(eps = 1e-6) ?inner ?rt g sp b =
     residual = st.Linalg.Chebyshev.residual;
   }
 
+(* Node-internal sparsifier solve in operator-into form: same arithmetic as
+   [inner_solve] (bit-identical outputs), but every buffer is preallocated at
+   closure-build time so steady-state applications allocate nothing. *)
+let inner_solve_into inner h =
+  match inner with
+  | Direct ->
+    let n = Graph.n h in
+    let l = Graph.laplacian_dense h in
+    let reduced = Linalg.Dense.init (n - 1) (fun i j -> l.(i + 1).(j + 1)) in
+    let chol = Linalg.Dense.cholesky ~shift:1e-12 reduced in
+    let c = Linalg.Vec.create n in
+    let bsub = Linalg.Vec.create (n - 1) in
+    let ysub = Linalg.Vec.create (n - 1) in
+    let xsub = Linalg.Vec.create (n - 1) in
+    fun src dst ->
+      Linalg.Vec.center_into src c;
+      Array.blit c 1 bsub 0 (n - 1);
+      Linalg.Dense.cholesky_solve_into chol bsub ysub xsub;
+      Linalg.Vec.fill dst 0.;
+      Array.blit xsub 0 dst 1 (n - 1);
+      Linalg.Vec.center_into dst dst
+  | Iterative ->
+    let n = Graph.n h in
+    let cgws = Linalg.Cg.Workspace.create n in
+    let cb = Linalg.Vec.create n in
+    let apply_h src dst = Graph.apply_laplacian_into h src dst in
+    fun src dst ->
+      Linalg.Vec.center_into src cb;
+      let (_ : Linalg.Cg.stats) =
+        Linalg.Cg.solve_into ~tol:1e-13 cgws apply_h cb
+      in
+      Linalg.Vec.center_into cgws.Linalg.Cg.Workspace.x dst
+
+type prepared = {
+  p_graph : Graph.t;
+  p_eps : float;
+  p_sparsifier : Sparsify.Spectral.result;
+  p_sparsify_rounds : int;
+  p_kappa : float;
+  p_solve_b_into : Linalg.Vec.t -> Linalg.Vec.t -> unit;
+  p_apply_a_into : Linalg.Vec.t -> Linalg.Vec.t -> unit;
+  p_ws : Linalg.Chebyshev.Workspace.t;
+}
+
+let prepare ?(eps = 1e-6) ?(phi = 0.05) ?inner ?backend ?model g =
+  if not (Graph.is_connected g) then
+    invalid_arg
+      "Solver.prepare: graph must be connected (L† needs one component)";
+  let n = Graph.n g in
+  let inner = match inner with Some i -> i | None -> default_inner n in
+  let g' = preprocess_weights eps g in
+  let sp = Sparsify.Spectral.sparsify ~phi ?backend ?model g' in
+  let h = sp.Sparsify.Spectral.sparsifier in
+  let solve_h_into = inner_solve_into inner h in
+  (* κ-estimation needs the allocating operator shape; wrap the into-kernel
+     so the estimate is computed against bit-identical B†-applications. *)
+  let scratch = Linalg.Vec.create n in
+  let solve_h v =
+    solve_h_into v scratch;
+    Linalg.Vec.copy scratch
+  in
+  let rt = Clique.Kernel.clique n in
+  let lmax, lmin = estimate_kappa rt g solve_h in
+  let kappa = 1.2 *. lmax /. lmin in
+  let inv_lmax = 1. /. lmax in
+  let solve_b_into src dst =
+    solve_h_into src dst;
+    Linalg.Vec.scale_into inv_lmax dst dst
+  in
+  let apply_a_into src dst = Graph.apply_laplacian_into g src dst in
+  {
+    p_graph = g;
+    p_eps = eps;
+    p_sparsifier = sp;
+    p_sparsify_rounds = sp.Sparsify.Spectral.rounds;
+    p_kappa = kappa;
+    p_solve_b_into = solve_b_into;
+    p_apply_a_into = apply_a_into;
+    p_ws = Linalg.Chebyshev.Workspace.create n;
+  }
+
+let prepared_dim p = Graph.n p.p_graph
+
+let prepared_kappa p = p.p_kappa
+
+let prepared_sparsifier_edges p =
+  Graph.m p.p_sparsifier.Sparsify.Spectral.sparsifier
+
+let solve_prepared p b =
+  let n = Graph.n p.p_graph in
+  let eps = p.p_eps in
+  let rt = Clique.Kernel.clique n in
+  Clique.Kernel.charge rt ~phase:"sparsify" p.p_sparsify_rounds;
+  Clique.Kernel.charge rt ~phase:"kappa-estimate"
+    (2 * kappa_power_iters * Runtime.Cost.matvec_rounds);
+  let kappa = p.p_kappa in
+  (* Two successive centerings, exactly as the one-shot path performs them
+     ([solve_with_sparsifier] centers, then [Chebyshev.solve_grounded]
+     centers again): centering is not an exact FP projection, so skipping
+     the second pass would change bits. *)
+  let b1 = Linalg.Vec.center b in
+  let b2 = Linalg.Vec.center b1 in
+  let max_iters = Linalg.Chebyshev.iteration_bound ~kappa ~eps:(eps /. 10.) in
+  let st =
+    Linalg.Chebyshev.solve_into ~max_iters ~tol:(eps /. 100.)
+      ~apply_a_into:p.p_apply_a_into ~solve_b_into:p.p_solve_b_into ~kappa
+      p.p_ws b2
+  in
+  let x = Linalg.Vec.center p.p_ws.Linalg.Chebyshev.Workspace.x in
+  Clique.Kernel.charge rt ~phase:"chebyshev"
+    (st.Linalg.Chebyshev.iterations * Runtime.Cost.matvec_rounds);
+  Log.debug (fun k ->
+      k "solve_prepared: n=%d kappa=%.3f iterations=%d residual=%.2e" n kappa
+        st.Linalg.Chebyshev.iterations st.Linalg.Chebyshev.residual);
+  {
+    x;
+    iterations = st.Linalg.Chebyshev.iterations;
+    kappa;
+    sparsifier_edges = Graph.m p.p_sparsifier.Sparsify.Spectral.sparsifier;
+    rounds = Clique.Kernel.rounds rt;
+    phase_rounds = Clique.Kernel.phases rt;
+    residual = st.Linalg.Chebyshev.residual;
+  }
+
+type prepared_cg = {
+  pc_eps : float;
+  pc_apply_into : Linalg.Vec.t -> Linalg.Vec.t -> unit;
+  pc_ws : Linalg.Cg.Workspace.t;
+}
+
+let prepare_cg ?(eps = 1e-6) g =
+  {
+    pc_eps = eps;
+    pc_apply_into = (fun src dst -> Graph.apply_laplacian_into g src dst);
+    pc_ws = Linalg.Cg.Workspace.create (Graph.n g);
+  }
+
+let solve_cg_prepared p b =
+  let eps = p.pc_eps in
+  (* [solve_cg_baseline] centers once, then [Cg.solve_grounded] centers
+     again — replicated for bit-identity, as in [solve_prepared]. *)
+  let b1 = Linalg.Vec.center b in
+  let b2 = Linalg.Vec.center b1 in
+  let st = Linalg.Cg.solve_into ~tol:(eps /. 100.) p.pc_ws p.pc_apply_into b2 in
+  let x = Linalg.Vec.center p.pc_ws.Linalg.Cg.Workspace.x in
+  {
+    x;
+    iterations = st.Linalg.Cg.iterations;
+    kappa = nan;
+    sparsifier_edges = 0;
+    rounds = st.Linalg.Cg.iterations * Runtime.Cost.matvec_rounds;
+    phase_rounds = [ ("cg", st.Linalg.Cg.iterations) ];
+    residual =
+      st.Linalg.Cg.residual /. Float.max (Linalg.Vec.norm2 b1) 1e-300;
+  }
+
 let solve ?(eps = 1e-6) ?(phi = 0.05) ?inner ?backend ?model g b =
   if not (Graph.is_connected g) then
     invalid_arg "Solver.solve: graph must be connected (L† needs one component)";

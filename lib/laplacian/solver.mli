@@ -66,6 +66,58 @@ val solve_with_sparsifier :
     caller thread its own runtime ledger through the solve (default: a fresh
     one, so the report stands alone). *)
 
+(** {2 Prepared (amortized) solving}
+
+    The throughput daemon serves many right-hand sides against the same
+    graph. {!prepare} performs the per-graph work once — weight
+    preprocessing, sparsifier construction, the inner Cholesky/CG state,
+    κ-estimation, and the Chebyshev workspace — and {!solve_prepared} then
+    answers each request with bit-identical reports to {!solve} while
+    performing zero heap allocations per Chebyshev iteration (with the
+    [Direct] inner solver; [Iterative] allocates O(1) words per outer
+    iteration for the nested CG call). A [prepared] handle holds mutable
+    workspaces: concurrent {!solve_prepared} calls on the same handle are
+    unsound — callers serialize (the daemon guards each cached handle with
+    a mutex). *)
+
+type prepared
+
+val prepare :
+  ?eps:float ->
+  ?phi:float ->
+  ?inner:inner_solver ->
+  ?backend:Sparsify.Spectral.backend ->
+  ?model:Runtime.Model.t ->
+  Graph.t ->
+  prepared
+(** Same parameters and validation as {!solve}; runs every phase that does
+    not depend on the right-hand side. Raises [Invalid_argument] on a
+    disconnected graph. *)
+
+val solve_prepared : prepared -> Linalg.Vec.t -> report
+(** [solve_prepared p b] is bit-identical to
+    [solve ?eps ?phi ?inner ?backend ?model g b] for the arguments [p] was
+    prepared with — including [rounds] and [phase_rounds], which replay the
+    full pipeline's ledger so a cached answer is indistinguishable from a
+    cold one. *)
+
+val prepared_dim : prepared -> int
+
+val prepared_kappa : prepared -> float
+
+val prepared_sparsifier_edges : prepared -> int
+
+type prepared_cg
+
+val prepare_cg : ?eps:float -> Graph.t -> prepared_cg
+(** Workspace-backed counterpart of {!solve_cg_baseline}: one CG workspace
+    per graph, reused across right-hand sides. *)
+
+val solve_cg_prepared : prepared_cg -> Linalg.Vec.t -> report
+(** Bit-identical to {!solve_cg_baseline} on the graph [prepare_cg] was
+    given; zero heap allocations per CG iteration. Same single-handle
+    concurrency caveat as {!solve_prepared}. *)
+
 val solve_cg_baseline : ?eps:float -> Graph.t -> Linalg.Vec.t -> report
 (** Baseline for experiment E8: plain distributed conjugate gradients
     (each iteration = one matvec round, no sparsifier). Reports rounds the

@@ -4,11 +4,37 @@ let iteration_bound ~kappa ~eps =
   let eps = Float.max eps 1e-300 in
   int_of_float (Float.ceil (sqrt (Float.max kappa 1.) *. log (2. /. eps))) + 1
 
+module Workspace = struct
+  type t = { x : Vec.t; r : Vec.t; z : Vec.t; d : Vec.t; ad : Vec.t }
+
+  let create n =
+    {
+      x = Vec.create n;
+      r = Vec.create n;
+      z = Vec.create n;
+      d = Vec.create n;
+      ad = Vec.create n;
+    }
+
+  let dim ws = Vec.dim ws.x
+end
+
 (* Chebyshev semi-iteration for the preconditioned system B†A x = B†b whose
    spectrum (on the range) lies in [1/κ, 1]. Cf. Saad, "Iterative Methods for
-   Sparse Linear Systems", Alg. 12.1. *)
-let solve ?max_iters ?(tol = 1e-10) ~apply_a ~solve_b ~kappa b =
+   Sparse Linear Systems", Alg. 12.1.
+
+   Zero-allocation workspace kernel: all five iteration vectors are
+   caller-owned, the norms are inlined (a call returning [float] boxes its
+   result), and the element expressions reproduce the historical allocating
+   loop literally — including the [1. *.] and [(-1.) *.] factors the seed
+   inherited from [Vec.axpy_inplace] — so the [solve] wrapper is
+   bit-identical to the seed solver. *)
+(* cc_lint: hot solve_into *)
+let solve_into ?max_iters ?(tol = 1e-10) ~apply_a_into ~solve_b_into ~kappa
+    (ws : Workspace.t) b =
   let n = Vec.dim b in
+  if Workspace.dim ws <> n then
+    invalid_arg "Chebyshev.solve_into: workspace dimension mismatch";
   let max_iters =
     match max_iters with
     | Some k -> k
@@ -19,23 +45,43 @@ let solve ?max_iters ?(tol = 1e-10) ~apply_a ~solve_b ~kappa b =
   let theta = (lmax +. lmin) /. 2. in
   let delta = (lmax -. lmin) /. 2. in
   let sigma1 = theta /. delta in
-  let x = Vec.create n in
-  let r = Vec.copy b in
-  let nb = Float.max (Vec.norm2 b) 1e-300 in
-  let z = solve_b r in
-  let d = Vec.scale (1. /. theta) z in
+  let x = ws.Workspace.x
+  and r = ws.Workspace.r
+  and z = ws.Workspace.z
+  and d = ws.Workspace.d
+  and ad = ws.Workspace.ad in
+  Vec.fill x 0.;
+  Vec.copy_into b r;
+  let nb_acc = ref 0. in
+  for i = 0 to n - 1 do
+    nb_acc := !nb_acc +. (r.(i) *. r.(i))
+  done;
+  let nb = Float.max (sqrt !nb_acc) 1e-300 in
+  solve_b_into r z;
+  let inv_theta = 1. /. theta in
+  for i = 0 to n - 1 do
+    d.(i) <- inv_theta *. z.(i)
+  done;
   let rho_prev = ref (1. /. sigma1) in
   let iters = ref 0 in
-  let residual = ref (Vec.norm2 r /. nb) in
+  let residual = ref (sqrt !nb_acc /. nb) in
   (try
      while !iters < max_iters do
-       Vec.axpy_inplace 1. d x;
-       let ad = apply_a d in
-       Vec.axpy_inplace (-1.) ad r;
-       residual := Vec.norm2 r /. nb;
+       for i = 0 to n - 1 do
+         x.(i) <- (1. *. d.(i)) +. x.(i)
+       done;
+       apply_a_into d ad;
+       for i = 0 to n - 1 do
+         r.(i) <- ((-1.) *. ad.(i)) +. r.(i)
+       done;
+       let nr_acc = ref 0. in
+       for i = 0 to n - 1 do
+         nr_acc := !nr_acc +. (r.(i) *. r.(i))
+       done;
+       residual := sqrt !nr_acc /. nb;
        incr iters;
        if !residual <= tol then raise Exit;
-       let z = solve_b r in
+       solve_b_into r z;
        let rho = 1. /. ((2. *. sigma1) -. !rho_prev) in
        let c1 = rho *. !rho_prev in
        let c2 = 2. *. rho /. delta in
@@ -45,7 +91,14 @@ let solve ?max_iters ?(tol = 1e-10) ~apply_a ~solve_b ~kappa b =
        rho_prev := rho
      done
    with Exit -> ());
-  (x, { iterations = !iters; residual = !residual; converged = !residual <= tol })
+  { iterations = !iters; residual = !residual; converged = !residual <= tol }
+
+let solve ?max_iters ?tol ~apply_a ~solve_b ~kappa b =
+  let ws = Workspace.create (Vec.dim b) in
+  let apply_a_into src dst = Vec.copy_into (apply_a src) dst in
+  let solve_b_into src dst = Vec.copy_into (solve_b src) dst in
+  let st = solve_into ?max_iters ?tol ~apply_a_into ~solve_b_into ~kappa ws b in
+  (ws.Workspace.x, st)
 
 let solve_grounded ?max_iters ?tol ~apply_a ~solve_b ~kappa b =
   let b = Vec.center b in

@@ -19,6 +19,35 @@ val iteration_bound : kappa:float -> eps:float -> int
 (** The a-priori iteration count [⌈√κ · ln(2/ε)⌉ + 1] of Theorem 2.2,
     used by the round-accounting layer and the E2 bench. *)
 
+(** Preallocated iteration state for {!solve_into}: the five vectors
+    ([x], [r], [z], [d], [ad]) of the semi-iteration. Reusable across
+    sequential solves of the same dimension; not safe to share between
+    concurrent solves. *)
+module Workspace : sig
+  type t = { x : Vec.t; r : Vec.t; z : Vec.t; d : Vec.t; ad : Vec.t }
+
+  val create : int -> t
+
+  val dim : t -> int
+end
+
+val solve_into :
+  ?max_iters:int ->
+  ?tol:float ->
+  apply_a_into:(Vec.t -> Vec.t -> unit) ->
+  solve_b_into:(Vec.t -> Vec.t -> unit) ->
+  kappa:float ->
+  Workspace.t ->
+  Vec.t ->
+  stats
+(** [solve_into ~apply_a_into ~solve_b_into ~kappa ws b] is the
+    zero-allocation kernel behind {!solve}: all iteration state lives in
+    [ws] and the solution is left in [ws.x]. [apply_a_into src dst] must set
+    [dst <- A src] and [solve_b_into src dst] must set [dst <- B† src],
+    each writing every entry of [dst] and allocating nothing if the whole
+    iteration is to stay allocation-free. Raises [Invalid_argument] on a
+    workspace dimension mismatch. Bit-identical to {!solve}. *)
+
 val solve :
   ?max_iters:int ->
   ?tol:float ->

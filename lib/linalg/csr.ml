@@ -64,17 +64,25 @@ let get a i j =
   iter_row a i (fun j' v -> if j = j' then r := v);
   !r
 
-let mul_vec a x =
+(* cc_lint: hot mul_vec_into *)
+let mul_vec_into a x y =
   if Array.length x <> a.n_cols then
-    invalid_arg "Csr.mul_vec: dimension mismatch";
-  let y = Vec.create a.n_rows in
+    invalid_arg "Csr.mul_vec_into: dimension mismatch";
+  if Array.length y <> a.n_rows then
+    invalid_arg "Csr.mul_vec_into: output dimension mismatch";
   for i = 0 to a.n_rows - 1 do
     let s = ref 0. in
     for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
       s := !s +. (a.values.(k) *. x.(a.col_idx.(k)))
     done;
     y.(i) <- !s
-  done;
+  done
+
+let mul_vec a x =
+  if Array.length x <> a.n_cols then
+    invalid_arg "Csr.mul_vec: dimension mismatch";
+  let y = Vec.create a.n_rows in
+  mul_vec_into a x y;
   y
 
 let mul_vec_transpose a x =

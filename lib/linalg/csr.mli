@@ -23,6 +23,11 @@ val get : t -> int -> int -> float
 
 val mul_vec : t -> Vec.t -> Vec.t
 
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into a x y] sets [y <- A x] without allocating; [y] must not
+    alias [x]. This is the [apply_into] operator shape the workspace solvers
+    ({!Cg.solve_into}, {!Chebyshev.solve_into}) consume. *)
+
 val mul_vec_transpose : t -> Vec.t -> Vec.t
 
 val iter_row : t -> int -> (int -> float -> unit) -> unit

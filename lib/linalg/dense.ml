@@ -29,10 +29,31 @@ let mul a b =
   done;
   c
 
+(* cc_lint: hot mul_vec_into cholesky_solve_into *)
+let mul_vec_into a x y =
+  let n = dim a in
+  if Array.length x <> n then
+    invalid_arg "Dense.mul_vec_into: dimension mismatch";
+  if Array.length y <> n then
+    invalid_arg "Dense.mul_vec_into: output dimension mismatch";
+  (* Row dot products inlined: a call returning [float] would box the
+     result on every row, breaking the zero-allocation contract. The
+     accumulation order matches [Vec.dot] exactly (bit-identical). *)
+  for i = 0 to n - 1 do
+    let row = a.(i) in
+    let acc = ref 0. in
+    for j = 0 to n - 1 do
+      acc := !acc +. (row.(j) *. x.(j))
+    done;
+    y.(i) <- !acc
+  done
+
 let mul_vec a x =
   let n = dim a in
   if Array.length x <> n then invalid_arg "Dense.mul_vec: dimension mismatch";
-  Array.init n (fun i -> Vec.dot a.(i) x)
+  let y = Vec.create n in
+  mul_vec_into a x y;
+  y
 
 let add a b =
   let n = dim a in
@@ -74,12 +95,14 @@ let cholesky ?(shift = 0.) a =
   done;
   l
 
-let cholesky_solve l b =
+let cholesky_solve_into l b scratch x =
   let n = dim l in
   if Array.length b <> n then
-    invalid_arg "Dense.cholesky_solve: dimension mismatch";
-  (* forward: l y = b *)
-  let y = Vec.create n in
+    invalid_arg "Dense.cholesky_solve_into: dimension mismatch";
+  if Array.length scratch <> n || Array.length x <> n then
+    invalid_arg "Dense.cholesky_solve_into: output dimension mismatch";
+  (* forward: l y = b, with y in the caller's scratch buffer *)
+  let y = scratch in
   for i = 0 to n - 1 do
     let s = ref b.(i) in
     for k = 0 to i - 1 do
@@ -88,14 +111,21 @@ let cholesky_solve l b =
     y.(i) <- !s /. l.(i).(i)
   done;
   (* backward: lᵀ x = y *)
-  let x = Vec.create n in
   for i = n - 1 downto 0 do
     let s = ref y.(i) in
     for k = i + 1 to n - 1 do
       s := !s -. (l.(k).(i) *. x.(k))
     done;
     x.(i) <- !s /. l.(i).(i)
-  done;
+  done
+
+let cholesky_solve l b =
+  let n = dim l in
+  if Array.length b <> n then
+    invalid_arg "Dense.cholesky_solve: dimension mismatch";
+  let scratch = Vec.create n in
+  let x = Vec.create n in
+  cholesky_solve_into l b scratch x;
   x
 
 let solve_spd ?(shift = 0.) a b = cholesky_solve (cholesky ~shift a) b

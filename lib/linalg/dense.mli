@@ -26,6 +26,11 @@ val mul : t -> t -> t
 
 val mul_vec : t -> Vec.t -> Vec.t
 
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into a x y] sets [y <- A x] without allocating; [y] must not
+    alias [x] or a row of [a]. Same [apply_into] operator shape as
+    {!Csr.mul_vec_into}. *)
+
 val add : t -> t -> t
 
 val sub : t -> t -> t
@@ -41,6 +46,12 @@ val cholesky : ?shift:float -> t -> t
 
 val cholesky_solve : t -> Vec.t -> Vec.t
 (** [cholesky_solve l b] solves [l lᵀ x = b] by forward/back substitution. *)
+
+val cholesky_solve_into : t -> Vec.t -> Vec.t -> Vec.t -> unit
+(** [cholesky_solve_into l b scratch x] solves [l lᵀ x = b] without
+    allocating: the forward-substitution intermediate lives in [scratch] and
+    the solution in [x]. [b], [scratch] and [x] must be pairwise distinct
+    buffers of dimension [dim l]. Bit-identical to {!cholesky_solve}. *)
 
 val solve_spd : ?shift:float -> t -> Vec.t -> Vec.t
 (** One-shot symmetric-positive-definite solve via Cholesky. *)

@@ -34,6 +34,36 @@ val axpy : float -> t -> t -> t
 val axpy_inplace : float -> t -> t -> unit
 (** [axpy_inplace a x y] updates [y <- a*x + y]. *)
 
+(** {2 Zero-allocation kernels}
+
+    Each [_into] variant writes its full result into a caller-owned
+    destination and performs no heap allocation; destinations follow the
+    operator convention of {!Csr.mul_vec_into} (output parameter last).
+    Element expressions are bit-identical to the allocating functions above,
+    which are thin wrappers over these kernels. *)
+
+val add_into : t -> t -> t -> unit
+(** [add_into x y dst] sets [dst <- x + y]. [dst] may alias [x] or [y]. *)
+
+val sub_into : t -> t -> t -> unit
+(** [sub_into x y dst] sets [dst <- x - y]. [dst] may alias [x] or [y]. *)
+
+val scale_into : float -> t -> t -> unit
+(** [scale_into a x dst] sets [dst <- a*x]. [dst] may alias [x]. *)
+
+val axpy_into : float -> t -> t -> t -> unit
+(** [axpy_into a x y dst] sets [dst <- a*x + y]. [dst] may alias [y] (this is
+    exactly {!axpy_inplace}) but must not alias [x]. *)
+
+val copy_into : t -> t -> unit
+(** [copy_into x dst] blits [x] over [dst]. *)
+
+val fill : t -> float -> unit
+(** [fill dst c] sets every entry of [dst] to [c]. *)
+
+val center_into : t -> t -> unit
+(** [center_into x dst] sets [dst <- x - mean x]. [dst] may alias [x]. *)
+
 val dot : t -> t -> float
 
 val norm2 : t -> float
@@ -53,7 +83,10 @@ val center : t -> t
     to the all-ones vector, i.e. lies in the range of a connected Laplacian. *)
 
 val normalize : t -> t
-(** [normalize x] is [x / ||x||]; returns [x] unchanged if the norm is 0. *)
+(** [normalize x] is [x / ||x||]. The result is always a fresh vector, even
+    when the norm is 0 (a zero input comes back as a zero *copy*, never the
+    input array itself — aliasing the argument would let an in-place write
+    through the result corrupt the caller's buffer). *)
 
 val map2 : (float -> float -> float) -> t -> t -> t
 

@@ -1,0 +1,49 @@
+(* Minimal synchronous client for cc_serve: one request, one reply. *)
+
+(* cc_lint: allow L9 *)
+
+module Json = Metrics.Json
+module Link = Wire.Link
+
+type t = { link : Link.t }
+
+let unix_prefix = "unix:"
+
+let connect addr =
+  let fd =
+    if
+      String.length addr >= String.length unix_prefix
+      && String.sub addr 0 (String.length unix_prefix) = unix_prefix
+    then
+      Link.connect_unix
+        (String.sub addr (String.length unix_prefix)
+           (String.length addr - String.length unix_prefix))
+    else Link.connect addr
+  in
+  { link = Link.of_fd ~peer:("cc-serve@" ^ addr) fd }
+
+let close t = Link.close t.link
+
+let request ?deadline t body =
+  let id =
+    match Json.member "id" body with
+    | Some v -> ( match Json.to_int_opt v with Some i -> i | None -> 0)
+    | None -> 0
+  in
+  Link.send ?deadline t.link (Job.frame ~kind:Job.frame_job ~id body);
+  let reply = Link.recv ?deadline t.link in
+  match Json.of_string (Bytes.to_string reply.Wire.Frame.payload) with
+  | Ok j -> j
+  | Error e -> failwith ("cc-serve reply is not JSON: " ^ e)
+
+let request_string ?deadline t s =
+  match Json.of_string s with
+  | Ok j -> request ?deadline t j
+  | Error e -> failwith ("request is not JSON: " ^ e)
+
+let ok j = match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
+
+let error_message j =
+  match Json.member "error" j with
+  | Some (Json.String s) -> Some s
+  | _ -> None

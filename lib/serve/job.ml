@@ -1,0 +1,312 @@
+(* Job specs and the JSON wire protocol of cc_serve (DESIGN.md §15).
+
+   A request is one frame of kind [frame_job] whose payload is a JSON
+   object; the response comes back as one frame of kind [frame_result]
+   (or [frame_error]) whose payload is again JSON, with the request [id]
+   echoed both in the body and as the frame sequence number. *)
+
+module Json = Metrics.Json
+
+let frame_job = 0x30
+
+let frame_result = 0x31
+
+let frame_error = 0x32
+
+type solver = Chebyshev | Cg_baseline
+
+type payload =
+  | Solve of {
+      g : Graph.t;
+      b : Linalg.Vec.t;
+      solver : solver;
+      eps : float;
+      return_x : bool;
+    }
+  | Sparsify of { g : Graph.t }
+  | Maxflow of { net : Digraph.t; s : int; t : int }
+  | Mst of { g : Graph.t }
+  | Stats
+  | Shutdown
+
+type t = {
+  id : int;
+  payload : payload;
+  timeout_ms : float option;
+  inject : bool;
+  nocache : bool;
+}
+
+let kind_name = function
+  | Solve _ -> "solve"
+  | Sparsify _ -> "sparsify"
+  | Maxflow _ -> "maxflow"
+  | Mst _ -> "mst"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+(* ------------------------------------------------------------ parsing *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j =
+  let* v = field name j in
+  match Json.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let float_field name j =
+  let* v = field name j in
+  match Json.to_float_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S must be a number" name)
+
+let opt_int name ~default j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_int_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let opt_float name ~default j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_float_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "field %S must be a number" name))
+
+let opt_bool name j =
+  match Json.member name j with Some (Json.Bool b) -> b | _ -> false
+
+let seed_field j =
+  let* s = opt_int "seed" ~default:1 j in
+  Ok (Int64.of_int s)
+
+(* A graph is either explicit — {"n": 4, "edges": [[u, v, w], ...]} — or a
+   named deterministic generator from Gen, so requests stay small and the
+   bench can describe whole workloads inline. *)
+let graph_of_json j =
+  match Json.member "gen" j with
+  | Some (Json.String "connected_gnp") ->
+    let* n = int_field "n" j in
+    let* p = float_field "p" j in
+    let* seed = seed_field j in
+    Ok (Gen.connected_gnp ~seed n p)
+  | Some (Json.String "weighted_gnp") ->
+    let* n = int_field "n" j in
+    let* p = float_field "p" j in
+    let* u = int_field "u" j in
+    let* seed = seed_field j in
+    Ok (Gen.weighted_gnp ~seed n p u)
+  | Some (Json.String "expander") ->
+    let* n = int_field "n" j in
+    let* d = int_field "d" j in
+    Ok (Gen.expander n d)
+  | Some (Json.String "grid") ->
+    let* r = int_field "rows" j in
+    let* c = int_field "cols" j in
+    Ok (Gen.grid r c)
+  | Some (Json.String "barbell") ->
+    let* k = int_field "k" j in
+    Ok (Gen.barbell k)
+  | Some (Json.String g) -> Error (Printf.sprintf "unknown graph gen %S" g)
+  | Some _ -> Error "field \"gen\" must be a string"
+  | None ->
+    let* n = int_field "n" j in
+    let* edges = field "edges" j in
+    let* lst =
+      match Json.to_list_opt edges with
+      | Some l -> Ok l
+      | None -> Error "field \"edges\" must be a list"
+    in
+    let* edges =
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          match e with
+          | Json.List [ u; v; w ] -> (
+            match
+              (Json.to_int_opt u, Json.to_int_opt v, Json.to_float_opt w)
+            with
+            | Some u, Some v, Some w ->
+              Ok ({ Graph.u; v; w } :: acc)
+            | _ -> Error "edge entries must be [int, int, number]")
+          | _ -> Error "each edge must be a [u, v, w] triple")
+        (Ok []) lst
+    in
+    (try Ok (Graph.create n (List.rev edges))
+     with Invalid_argument m -> Error m)
+
+let net_of_json j =
+  match Json.member "gen" j with
+  | Some (Json.String "layered") ->
+    let* layers = int_field "layers" j in
+    let* width = int_field "width" j in
+    let* maxcap = int_field "maxcap" j in
+    let* seed = seed_field j in
+    Ok (Gen.layered_network ~seed layers width maxcap)
+  | Some (Json.String "random_network") ->
+    let* n = int_field "n" j in
+    let* m = int_field "m" j in
+    let* maxcap = int_field "maxcap" j in
+    let* seed = seed_field j in
+    Ok (Gen.random_network ~seed n m maxcap)
+  | Some (Json.String g) -> Error (Printf.sprintf "unknown network gen %S" g)
+  | Some _ -> Error "field \"gen\" must be a string"
+  | None ->
+    let* n = int_field "n" j in
+    let* arcs = field "arcs" j in
+    let* lst =
+      match Json.to_list_opt arcs with
+      | Some l -> Ok l
+      | None -> Error "field \"arcs\" must be a list"
+    in
+    let* arcs =
+      List.fold_left
+        (fun acc a ->
+          let* acc = acc in
+          match a with
+          | Json.List [ src; dst; cap ] -> (
+            match
+              (Json.to_int_opt src, Json.to_int_opt dst, Json.to_int_opt cap)
+            with
+            | Some src, Some dst, Some cap ->
+              Ok ({ Digraph.src; dst; cap; cost = 0 } :: acc)
+            | _ -> Error "arc entries must be [int, int, int]")
+          | _ -> Error "each arc must be a [src, dst, cap] triple")
+        (Ok []) lst
+    in
+    (try Ok (Digraph.create n (List.rev arcs))
+     with Invalid_argument m -> Error m)
+
+(* The right-hand side: an explicit float list, or {"seed": k} for the
+   deterministic full-support pattern (the solver centers it). *)
+let rhs_of_json n j =
+  match j with
+  | Json.List l ->
+    let* b =
+      List.fold_left
+        (fun acc v ->
+          let* acc = acc in
+          match Json.to_float_opt v with
+          | Some f -> Ok (f :: acc)
+          | None -> Error "field \"b\" entries must be numbers")
+        (Ok []) l
+    in
+    let b = Array.of_list (List.rev b) in
+    if Array.length b <> n then
+      Error
+        (Printf.sprintf "field \"b\" has %d entries for %d nodes"
+           (Array.length b) n)
+    else Ok b
+  | Json.Assoc _ ->
+    let* seed = opt_int "seed" ~default:1 j in
+    Ok
+      (Linalg.Vec.init n (fun i ->
+           let s = if (i + seed) land 1 = 0 then 1. else -1. in
+           s *. (1. +. (float_of_int (((i + seed) * 40503) land 0xffff)
+                        /. 65536.))))
+  | _ -> Error "field \"b\" must be a list of numbers or {\"seed\": k}"
+
+let parse j =
+  let* id = opt_int "id" ~default:0 j in
+  let* kind = field "kind" j in
+  let* kind =
+    match Json.to_string_opt kind with
+    | Some k -> Ok k
+    | None -> Error "field \"kind\" must be a string"
+  in
+  let* payload =
+    match kind with
+    | "solve" ->
+      let* gj = field "graph" j in
+      let* g = graph_of_json gj in
+      let* solver =
+        match Json.member "solver" j with
+        | None | Some (Json.String "chebyshev") -> Ok Chebyshev
+        | Some (Json.String "cg") -> Ok Cg_baseline
+        | Some (Json.String s) ->
+          Error (Printf.sprintf "unknown solver %S" s)
+        | Some _ -> Error "field \"solver\" must be a string"
+      in
+      let* eps = opt_float "eps" ~default:1e-6 j in
+      let* b =
+        match Json.member "b" j with
+        | None -> rhs_of_json (Graph.n g) (Json.Assoc [])
+        | Some bj -> rhs_of_json (Graph.n g) bj
+      in
+      Ok (Solve { g; b; solver; eps; return_x = opt_bool "return_x" j })
+    | "sparsify" ->
+      let* gj = field "graph" j in
+      let* g = graph_of_json gj in
+      Ok (Sparsify { g })
+    | "maxflow" ->
+      let* nj = field "net" j in
+      let* net = net_of_json nj in
+      let* s = opt_int "s" ~default:0 j in
+      let* t = opt_int "t" ~default:(Digraph.n net - 1) j in
+      Ok (Maxflow { net; s; t })
+    | "mst" ->
+      let* gj = field "graph" j in
+      let* g = graph_of_json gj in
+      Ok (Mst { g })
+    | "stats" -> Ok Stats
+    | "shutdown" -> Ok Shutdown
+    | k -> Error (Printf.sprintf "unknown job kind %S" k)
+  in
+  let* timeout_ms =
+    match Json.member "timeout_ms" j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.to_float_opt v with
+      | Some f -> Ok (Some f)
+      | None -> Error "field \"timeout_ms\" must be a number")
+  in
+  Ok
+    {
+      id;
+      payload;
+      timeout_ms;
+      inject = opt_bool "inject" j;
+      nocache = opt_bool "nocache" j;
+    }
+
+let parse_string s =
+  match Json.of_string s with
+  | Error e -> Error (Printf.sprintf "malformed JSON: %s" e)
+  | Ok j -> ( match j with
+    | Json.Assoc _ -> parse j
+    | _ -> Error "request must be a JSON object")
+
+(* ----------------------------------------------------------- responses *)
+
+let error_body ~id msg =
+  Json.Assoc [ ("id", Json.Int id); ("ok", Json.Bool false);
+               ("error", Json.String msg) ]
+
+let result_body ~id ~kind ~result ~metrics =
+  Json.Assoc
+    [
+      ("id", Json.Int id);
+      ("ok", Json.Bool true);
+      ("kind", Json.String kind);
+      ("result", Json.Assoc result);
+      ("metrics", Json.Assoc metrics);
+    ]
+
+let frame ~kind ~id body =
+  {
+    Wire.Frame.kind;
+    src = 0;
+    dst = 0;
+    seq = id;
+    epoch = 0;
+    payload = Bytes.of_string (Json.to_string ~minify:true body);
+  }

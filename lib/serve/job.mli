@@ -1,0 +1,71 @@
+(** Job specs and the JSON-over-frames protocol of [cc_serve]
+    (DESIGN.md §15).
+
+    A request is one {!Wire.Frame} of kind {!frame_job} carrying a JSON
+    object; the daemon answers with one frame of kind {!frame_result}
+    (success) or {!frame_error} (refusal), echoing the request [id] both
+    as the frame sequence number and in the body. Graph and network
+    operands are given either explicitly ([{"n": …, "edges": [[u,v,w],…]}])
+    or as named deterministic {!Gen} generators, so a whole benchmark
+    workload fits in a few hundred bytes of request. *)
+
+module Json = Metrics.Json
+
+val frame_job : int
+(** Frame kind 0x30 — client → daemon request. *)
+
+val frame_result : int
+(** Frame kind 0x31 — daemon → client success. *)
+
+val frame_error : int
+(** Frame kind 0x32 — daemon → client refusal (body has [ok: false]). *)
+
+type solver = Chebyshev  (** the Theorem 1.1 pipeline *)
+            | Cg_baseline  (** plain distributed CG *)
+
+type payload =
+  | Solve of {
+      g : Graph.t;
+      b : Linalg.Vec.t;
+      solver : solver;
+      eps : float;
+      return_x : bool;  (** include the full solution vector in the reply *)
+    }
+  | Sparsify of { g : Graph.t }
+  | Maxflow of { net : Digraph.t; s : int; t : int }
+  | Mst of { g : Graph.t }
+  | Stats  (** daemon counters; answered inline by the listener *)
+  | Shutdown  (** acknowledged, then the daemon drains and exits *)
+
+type t = {
+  id : int;  (** echoed in the response; defaults to 0 *)
+  payload : payload;
+  timeout_ms : float option;
+      (** drop the job with an error if it still sits in the queue this
+          many milliseconds after arrival *)
+  inject : bool;
+      (** test hook: corrupt the first execution's output so the
+          [CC_SERVE_POLICY] certification path is exercised
+          deterministically *)
+  nocache : bool;  (** bypass the artifact cache (naive-mode benching) *)
+}
+
+val kind_name : payload -> string
+
+val parse : Json.t -> (t, string) result
+(** Parse a request object; [Error] carries a client-facing message. *)
+
+val parse_string : string -> (t, string) result
+(** {!Json.of_string} then {!parse}. *)
+
+val error_body : id:int -> string -> Json.t
+
+val result_body :
+  id:int ->
+  kind:string ->
+  result:(string * Json.t) list ->
+  metrics:(string * Json.t) list ->
+  Json.t
+
+val frame : kind:int -> id:int -> Json.t -> Wire.Frame.t
+(** Wrap a JSON body into a protocol frame (minified payload, [seq = id]). *)

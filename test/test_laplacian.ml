@@ -141,3 +141,102 @@ let suite =
       test_solver_path_effective_resistance;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+
+(* ----------------------------------------- prepared (amortized) solving *)
+
+(* solve_prepared must be indistinguishable from solve — solution bits,
+   residual, and the whole round ledger — and stay so across repeat calls
+   on the same handle (the daemon's steady state). *)
+let test_prepared_matches_solve () =
+  List.iter
+    (fun (seed, n, p, eps) ->
+      let g = Gen.connected_gnp ~seed:(Int64.of_int seed) n p in
+      let b =
+        Linalg.Vec.init n (fun i -> float_of_int ((i * 11) mod 7) -. 3.)
+      in
+      let r = Laplacian.Solver.solve ~eps g b in
+      let prep = Laplacian.Solver.prepare ~eps g in
+      let check_call tag =
+        let r' = Laplacian.Solver.solve_prepared prep b in
+        Alcotest.(check bool)
+          (tag ^ ": x bit-identical") true
+          (r.Laplacian.Solver.x = r'.Laplacian.Solver.x);
+        Alcotest.(check (float 0.))
+          (tag ^ ": residual") r.Laplacian.Solver.residual
+          r'.Laplacian.Solver.residual;
+        Alcotest.(check int)
+          (tag ^ ": iterations") r.Laplacian.Solver.iterations
+          r'.Laplacian.Solver.iterations;
+        Alcotest.(check int)
+          (tag ^ ": rounds") r.Laplacian.Solver.rounds
+          r'.Laplacian.Solver.rounds;
+        Alcotest.(check bool)
+          (tag ^ ": phase ledger") true
+          (r.Laplacian.Solver.phase_rounds = r'.Laplacian.Solver.phase_rounds)
+      in
+      check_call "first call";
+      check_call "repeat call")
+    [ (31, 24, 0.3, 1e-6); (32, 40, 0.15, 1e-4) ]
+
+let test_prepared_cg_matches_baseline () =
+  let g = Gen.connected_gnp ~seed:33L 30 0.25 in
+  let b = Linalg.Vec.init 30 (fun i -> sin (float_of_int (2 * i))) in
+  let r = Laplacian.Solver.solve_cg_baseline ~eps:1e-6 g b in
+  let prep = Laplacian.Solver.prepare_cg ~eps:1e-6 g in
+  let r1 = Laplacian.Solver.solve_cg_prepared prep b in
+  let r2 = Laplacian.Solver.solve_cg_prepared prep b in
+  Alcotest.(check bool)
+    "x bit-identical" true
+    (r.Laplacian.Solver.x = r1.Laplacian.Solver.x);
+  Alcotest.(check bool)
+    "repeat call bit-identical" true
+    (r1.Laplacian.Solver.x = r2.Laplacian.Solver.x);
+  Alcotest.(check (float 0.))
+    "residual" r.Laplacian.Solver.residual r1.Laplacian.Solver.residual;
+  Alcotest.(check int)
+    "rounds" r.Laplacian.Solver.rounds r1.Laplacian.Solver.rounds
+
+let test_prepared_distinct_rhs () =
+  (* One handle, many right-hand sides: each must match the from-scratch
+     solve for that rhs. *)
+  let g = Gen.connected_gnp ~seed:34L 20 0.35 in
+  let prep = Laplacian.Solver.prepare g in
+  List.iter
+    (fun k ->
+      let b =
+        Linalg.Vec.init 20 (fun i -> float_of_int (((i + k) * 17) mod 13))
+      in
+      let r = Laplacian.Solver.solve g b in
+      let r' = Laplacian.Solver.solve_prepared prep b in
+      Alcotest.(check bool)
+        (Printf.sprintf "rhs %d bit-identical" k)
+        true
+        (r.Laplacian.Solver.x = r'.Laplacian.Solver.x))
+    [ 0; 1; 5 ]
+
+let test_prepared_accessors () =
+  let g = Gen.connected_gnp ~seed:35L 16 0.4 in
+  let prep = Laplacian.Solver.prepare g in
+  let b = Linalg.Vec.init 16 (fun i -> float_of_int (i mod 5) -. 2.) in
+  let r = Laplacian.Solver.solve_prepared prep b in
+  Alcotest.(check int)
+    "dim" 16
+    (Laplacian.Solver.prepared_dim prep);
+  Alcotest.(check (float 0.))
+    "kappa matches report" r.Laplacian.Solver.kappa
+    (Laplacian.Solver.prepared_kappa prep);
+  Alcotest.(check int)
+    "sparsifier edges match report" r.Laplacian.Solver.sparsifier_edges
+    (Laplacian.Solver.prepared_sparsifier_edges prep)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "prepared matches solve" `Quick
+        test_prepared_matches_solve;
+      Alcotest.test_case "prepared cg matches baseline" `Quick
+        test_prepared_cg_matches_baseline;
+      Alcotest.test_case "prepared handle, many rhs" `Quick
+        test_prepared_distinct_rhs;
+      Alcotest.test_case "prepared accessors" `Quick test_prepared_accessors;
+    ]

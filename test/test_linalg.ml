@@ -421,3 +421,278 @@ let suite =
         test_chebyshev_operator_property;
     ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) more_qcheck
+
+(* ------------------------------------- zero-allocation workspace kernels *)
+
+(* Verbatim copies of the pre-workspace (allocating) CG and Chebyshev
+   implementations: the differential oracle pinning the refactored
+   kernels to bit-identical arithmetic on real instances. *)
+module Seed_cg = struct
+  let solve ?max_iters ?(tol = 1e-10) ?x0 apply b =
+    let open Linalg in
+    let n = Vec.dim b in
+    let max_iters = match max_iters with Some k -> k | None -> 10 * n in
+    let x = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
+    let r = Vec.sub b (apply x) in
+    let p = Vec.copy r in
+    let rs = ref (Vec.dot r r) in
+    let nb = Vec.norm2 b in
+    let target = tol *. Float.max nb 1e-300 in
+    let iters = ref 0 in
+    (try
+       while !iters < max_iters && sqrt !rs > target do
+         let ap = apply p in
+         let pap = Vec.dot p ap in
+         if pap <= 0. then raise Exit;
+         let alpha = !rs /. pap in
+         Vec.axpy_inplace alpha p x;
+         Vec.axpy_inplace (-.alpha) ap r;
+         let rs' = Vec.dot r r in
+         let beta = rs' /. !rs in
+         for i = 0 to n - 1 do
+           p.(i) <- r.(i) +. (beta *. p.(i))
+         done;
+         rs := rs';
+         incr iters
+       done
+     with Exit -> ());
+    let residual = sqrt !rs in
+    ( x,
+      {
+        Linalg.Cg.iterations = !iters;
+        residual;
+        converged = residual <= target;
+      } )
+end
+
+module Seed_cheb = struct
+  let solve ?max_iters ?(tol = 1e-10) ~apply_a ~solve_b ~kappa b =
+    let open Linalg in
+    let n = Vec.dim b in
+    let max_iters =
+      match max_iters with
+      | Some k -> k
+      | None -> Chebyshev.iteration_bound ~kappa ~eps:tol
+    in
+    let lmin = 1. /. Float.max kappa 1. in
+    let lmax = 1. in
+    let theta = (lmax +. lmin) /. 2. in
+    let delta = (lmax -. lmin) /. 2. in
+    let sigma1 = theta /. delta in
+    let x = Vec.create n in
+    let r = Vec.copy b in
+    let nb = Float.max (Vec.norm2 b) 1e-300 in
+    let z = solve_b r in
+    let d = Vec.scale (1. /. theta) z in
+    let rho_prev = ref (1. /. sigma1) in
+    let iters = ref 0 in
+    let residual = ref (Vec.norm2 r /. nb) in
+    (try
+       while !iters < max_iters do
+         Vec.axpy_inplace 1. d x;
+         let ad = apply_a d in
+         Vec.axpy_inplace (-1.) ad r;
+         residual := Vec.norm2 r /. nb;
+         incr iters;
+         if !residual <= tol then raise Exit;
+         let z = solve_b r in
+         let rho = 1. /. ((2. *. sigma1) -. !rho_prev) in
+         let c1 = rho *. !rho_prev in
+         let c2 = 2. *. rho /. delta in
+         for i = 0 to n - 1 do
+           d.(i) <- (c1 *. d.(i)) +. (c2 *. z.(i))
+         done;
+         rho_prev := rho
+       done
+     with Exit -> ());
+    ( x,
+      {
+        Linalg.Chebyshev.iterations = !iters;
+        residual = !residual;
+        converged = !residual <= tol;
+      } )
+end
+
+(* Bitwise equality: structural (=) on float arrays compares words, which
+   is exactly the "bit-identical" contract (no NaNs arise here). *)
+let bitwise name a b = Alcotest.(check bool) name true (a = b)
+
+let test_into_kernels_differential () =
+  let open Linalg in
+  let x = Vec.init 17 (fun i -> sin (float_of_int (i + 1))) in
+  let y = Vec.init 17 (fun i -> cos (float_of_int (3 * i)) *. 2.5) in
+  let dst = Vec.create 17 in
+  Vec.add_into x y dst;
+  bitwise "add_into" (Vec.add x y) dst;
+  Vec.sub_into x y dst;
+  bitwise "sub_into" (Vec.sub x y) dst;
+  Vec.scale_into 0.7 x dst;
+  bitwise "scale_into" (Vec.scale 0.7 x) dst;
+  Vec.axpy_into 1.3 x y dst;
+  bitwise "axpy_into" (Vec.axpy 1.3 x y) dst;
+  Vec.copy_into x dst;
+  bitwise "copy_into" x dst;
+  Vec.fill dst 0.25;
+  bitwise "fill" (Vec.init 17 (fun _ -> 0.25)) dst;
+  Vec.center_into x dst;
+  bitwise "center_into" (Vec.center x) dst;
+  (* aliasing src = dst is allowed *)
+  let z = Vec.copy x in
+  Vec.center_into z z;
+  bitwise "center_into aliased" (Vec.center x) z
+
+let test_matvec_into_differential () =
+  let open Linalg in
+  let g = Graph_gen.connected_gnp ~seed:11L 14 0.35 in
+  let l = Graph.laplacian g in
+  let d = Graph.laplacian_dense g in
+  let x = Vec.init 14 (fun i -> float_of_int ((i * 5) mod 7) -. 2.) in
+  let dst = Vec.create 14 in
+  Csr.mul_vec_into l x dst;
+  bitwise "csr mul_vec_into" (Csr.mul_vec l x) dst;
+  Dense.mul_vec_into d x dst;
+  bitwise "dense mul_vec_into" (Dense.mul_vec d x) dst;
+  let gdst = Vec.create 14 in
+  Graph.apply_laplacian_into g x gdst;
+  bitwise "apply_laplacian_into" (Graph.apply_laplacian g x) gdst
+
+let test_cholesky_solve_into_differential () =
+  let open Linalg in
+  let n = 7 in
+  let m =
+    Dense.init n (fun i j -> float_of_int (((i * 5) + (j * 2)) mod 6) /. 6.)
+  in
+  let a = Dense.add (Dense.mul (Dense.transpose m) m) (Dense.identity n) in
+  let chol = Dense.cholesky a in
+  let b = Vec.init n (fun i -> float_of_int (i - 3)) in
+  let scratch = Vec.create n in
+  let x = Vec.create n in
+  Dense.cholesky_solve_into chol b scratch x;
+  bitwise "cholesky_solve_into" (Dense.cholesky_solve chol b) x
+
+let test_normalize_is_a_copy () =
+  let open Linalg in
+  (* The seed returned the *input* when ‖x‖ = 0, so callers mutating the
+     "fresh" result corrupted their argument. Both branches must copy. *)
+  let z = Vec.create 4 in
+  let nz = Vec.normalize z in
+  Alcotest.(check bool) "zero branch is fresh" false (nz == z);
+  nz.(0) <- 42.;
+  check_float "input untouched" 0. 0. z.(0);
+  let x = Vec.of_list [ 3.; 4. ] in
+  let nx = Vec.normalize x in
+  Alcotest.(check bool) "nonzero branch is fresh" false (nx == x);
+  check_float "unit norm" 1e-12 1. (Vec.norm2 nx);
+  check_float "input untouched" 1e-12 3. x.(0)
+
+let test_cg_bit_identical_to_seed () =
+  let open Linalg in
+  List.iter
+    (fun (seed, n, p) ->
+      let g = Graph_gen.connected_gnp ~seed:(Int64.of_int seed) n p in
+      let b =
+        Vec.center (Vec.init n (fun i -> float_of_int ((i * 13) mod 9) -. 4.))
+      in
+      let apply = Graph.apply_laplacian g in
+      let x_seed, st_seed = Seed_cg.solve apply b in
+      let x_new, st_new = Cg.solve apply b in
+      bitwise (Printf.sprintf "cg x (seed %d)" seed) x_seed x_new;
+      Alcotest.(check bool)
+        (Printf.sprintf "cg stats (seed %d)" seed)
+        true
+        (st_seed = st_new))
+    [ (1, 12, 0.4); (2, 25, 0.25); (3, 40, 0.15); (9, 18, 0.5) ]
+
+let test_chebyshev_bit_identical_to_seed () =
+  let open Linalg in
+  List.iter
+    (fun (seed, n) ->
+      let g = Graph_gen.connected_gnp ~seed:(Int64.of_int seed) n 0.3 in
+      let b = Vec.center (Vec.init n (fun i -> sin (float_of_int (i + seed)))) in
+      let apply_a = Graph.apply_laplacian g in
+      (* Identity-style preconditioner (kept centered): convergence quality
+         is irrelevant here, only arithmetic identity. *)
+      let solve_b r = Vec.center (Vec.scale 0.125 r) in
+      let kappa = 64. in
+      let x_seed, st_seed =
+        Seed_cheb.solve ~max_iters:30 ~apply_a ~solve_b ~kappa b
+      in
+      let x_new, st_new =
+        Chebyshev.solve ~max_iters:30 ~apply_a ~solve_b ~kappa b
+      in
+      bitwise (Printf.sprintf "cheb x (seed %d)" seed) x_seed x_new;
+      Alcotest.(check bool)
+        (Printf.sprintf "cheb stats (seed %d)" seed)
+        true
+        (st_seed = st_new))
+    [ (4, 15); (5, 28); (6, 33) ]
+
+(* Gc.minor_words delta-of-deltas: running k and k + 20 iterations of the
+   workspace kernel must allocate exactly the same number of minor words —
+   i.e. the steady-state loop allocates nothing. Bytecode boxes floats at
+   every step, so the assertion is native-only. *)
+let minor_words_delta f =
+  let w0 = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. w0
+
+let test_cg_iterations_allocate_nothing () =
+  let open Linalg in
+  if Sys.backend_type = Sys.Native then begin
+    let g = Graph_gen.connected_gnp ~seed:21L 60 0.15 in
+    let l = Graph.laplacian g in
+    let b =
+      Vec.center (Vec.init 60 (fun i -> float_of_int ((i * 7) mod 11) -. 5.))
+    in
+    let ws = Cg.Workspace.create 60 in
+    let apply_into src dst = Csr.mul_vec_into l src dst in
+    let run k = ignore (Cg.solve_into ~max_iters:k ~tol:0. ws apply_into b) in
+    run 2 (* warm-up *);
+    let d1 = minor_words_delta (fun () -> run 5) in
+    let d2 = minor_words_delta (fun () -> run 25) in
+    check_float "20 extra CG iterations allocate zero words" 0. 0. (d2 -. d1)
+  end
+
+let test_chebyshev_iterations_allocate_nothing () =
+  let open Linalg in
+  if Sys.backend_type = Sys.Native then begin
+    let g = Graph_gen.connected_gnp ~seed:22L 60 0.15 in
+    let l = Graph.laplacian g in
+    let b =
+      Vec.center (Vec.init 60 (fun i -> float_of_int ((i * 3) mod 13) -. 6.))
+    in
+    let ws = Chebyshev.Workspace.create 60 in
+    let apply_a_into src dst = Csr.mul_vec_into l src dst in
+    let solve_b_into src dst = Vec.scale_into 0.125 src dst in
+    let run k =
+      ignore
+        (Chebyshev.solve_into ~max_iters:k ~tol:0. ~apply_a_into ~solve_b_into
+           ~kappa:64. ws b)
+    in
+    run 2 (* warm-up *);
+    let d1 = minor_words_delta (fun () -> run 5) in
+    let d2 = minor_words_delta (fun () -> run 25) in
+    check_float "20 extra Chebyshev iterations allocate zero words" 0. 0.
+      (d2 -. d1)
+  end
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "into kernels differential" `Quick
+        test_into_kernels_differential;
+      Alcotest.test_case "matvec into differential" `Quick
+        test_matvec_into_differential;
+      Alcotest.test_case "cholesky solve into differential" `Quick
+        test_cholesky_solve_into_differential;
+      Alcotest.test_case "normalize returns a copy" `Quick
+        test_normalize_is_a_copy;
+      Alcotest.test_case "cg bit-identical to seed" `Quick
+        test_cg_bit_identical_to_seed;
+      Alcotest.test_case "chebyshev bit-identical to seed" `Quick
+        test_chebyshev_bit_identical_to_seed;
+      Alcotest.test_case "cg zero-alloc iterations" `Quick
+        test_cg_iterations_allocate_nothing;
+      Alcotest.test_case "chebyshev zero-alloc iterations" `Quick
+        test_chebyshev_iterations_allocate_nothing;
+    ]
